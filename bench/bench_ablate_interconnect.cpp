@@ -1,0 +1,37 @@
+/// Ablation (DESIGN.md §5 / paper §VII-D): how much of the Ookami-vs-Fugaku
+/// gap is the interconnect?  Same A64FX node model under Tofu-D,
+/// InfiniBand-HDR, and an ideal zero-latency/infinite-bandwidth network.
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace octo;
+  bench::header(
+      "Ablation — interconnect sensitivity (A64FX nodes, level 5)",
+      "Tofu-D vs InfiniBand differ modestly at scale; the ideal network "
+      "bounds what any interconnect tuning could recover");
+
+  auto sc = scen::rotating_star();
+  const auto topo = sc.make_topology(5);
+
+  auto tofu = machine::fugaku();
+  auto ib = machine::fugaku();
+  ib.net = machine::ookami().net;
+  auto ideal = machine::fugaku();
+  ideal.net = {.name = "ideal", .latency_us = 0, .bandwidth_gbs = 1e9,
+               .per_message_us = 0};
+
+  des::workload_options opt;
+  table t({"nodes", "Tofu-D", "InfiniBand", "ideal net", "ideal/Tofu"});
+  for (const int nodes : {4, 16, 64, 256}) {
+    const auto rt = des::run_experiment(topo, tofu, nodes, opt);
+    const auto ri = des::run_experiment(topo, ib, nodes, opt);
+    const auto rx = des::run_experiment(topo, ideal, nodes, opt);
+    t.add_row({table::fmt(static_cast<long long>(nodes)),
+               table::fmt(rt.cells_per_sec), table::fmt(ri.cells_per_sec),
+               table::fmt(rx.cells_per_sec),
+               table::fmt(rx.cells_per_sec / rt.cells_per_sec)});
+  }
+  t.print(std::cout);
+  return 0;
+}

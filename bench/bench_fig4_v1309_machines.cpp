@@ -1,0 +1,96 @@
+/// Reproduces Fig. 4: the v1309 contact-binary scenario (17M sub-grids in
+/// the paper) on Summit (6x V100/node), Piz Daint (1x P100/node) and Fugaku
+/// (A64FX, CPU only): (a) processed cells per second, (b) speedup relative
+/// to the smallest node count each machine could hold the scenario on.
+///
+/// The full 17M-sub-grid tree does not fit in this machine's memory, so the
+/// node axis is scaled to preserve sub-grids/node (weak-scaling
+/// equivalence); reported rows keep the paper's node counts.  Memory floors
+/// (Summit from 1 node, Piz Daint from 4, Fugaku from 16) follow §VI-B.
+
+#include <map>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace octo;
+  bench::header(
+      "Fig. 4 — v1309 on Summit / Piz Daint / Fugaku",
+      "Summit (6 GPUs/node) fastest; Piz Daint (1 GPU/node) second; Fugaku "
+      "(CPU-only) close to Piz Daint; every machine scales from its "
+      "memory-limited minimum node count");
+
+  auto sc = scen::v1309();
+  const auto topo = sc.make_topology(7);
+  const double scale = bench::workload_scale(sc.paper_subgrids,
+                                             topo.num_leaves());
+  std::printf("tree: %lld sub-grids (paper: %lld; node axis scaled by %.1f "
+              "to preserve sub-grids/node)\n\n",
+              static_cast<long long>(topo.num_leaves()),
+              static_cast<long long>(sc.paper_subgrids), scale);
+
+  struct entry {
+    std::string name;
+    machine::machine_spec m;
+    int min_nodes;  // memory floor from the paper
+    bool gpus;
+  };
+  const std::vector<entry> machines = {
+      {"Summit", machine::summit(), 1, true},
+      {"PizDaint", machine::piz_daint(), 4, true},
+      {"Fugaku", machine::fugaku(), 16, false},
+  };
+  const std::vector<int> node_axis = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+
+  table ta({"nodes", "Summit cells/s", "PizDaint cells/s", "Fugaku cells/s"});
+  table tb({"nodes", "Summit speedup", "PizDaint speedup", "Fugaku speedup"});
+  std::map<std::string, std::map<int, double>> series;
+
+  for (const auto& e : machines) {
+    for (const int nodes : node_axis) {
+      if (nodes < e.min_nodes) continue;
+      des::workload_options opt;
+      opt.use_gpus = e.gpus;
+      series[e.name][nodes] =
+          bench::run_scaled(topo, e.m, nodes, sc.paper_subgrids, opt)
+              .cells_per_sec;
+    }
+  }
+
+  const auto cell = [&](const std::string& name, int nodes) -> std::string {
+    const auto it = series[name].find(nodes);
+    return it == series[name].end() ? "-" : table::fmt(it->second);
+  };
+  const auto speedup_cell = [&](const std::string& name,
+                                int nodes) -> std::string {
+    const auto& s = series[name];
+    const auto it = s.find(nodes);
+    if (it == s.end()) return "-";
+    return table::fmt(it->second / s.begin()->second);
+  };
+
+  for (const int nodes : node_axis) {
+    ta.add_row({table::fmt(static_cast<long long>(nodes)),
+                cell("Summit", nodes), cell("PizDaint", nodes),
+                cell("Fugaku", nodes)});
+    tb.add_row({table::fmt(static_cast<long long>(nodes)),
+                speedup_cell("Summit", nodes), speedup_cell("PizDaint", nodes),
+                speedup_cell("Fugaku", nodes)});
+  }
+  std::printf("(a) processed cells per second\n");
+  ta.print(std::cout);
+  std::printf("\n(b) speedup vs the smallest node count that fits\n");
+  tb.print(std::cout);
+
+  // Shape checks at a common node count.
+  const double s64 = series["Summit"][64];
+  const double p64 = series["PizDaint"][64];
+  const double f64 = series["Fugaku"][64];
+  bench::check(s64 > p64, "Summit above Piz Daint");
+  bench::check(p64 > f64, "Piz Daint above Fugaku");
+  bench::check(p64 / f64 < 10,
+               "Fugaku close to Piz Daint (within one order of magnitude)");
+  bench::check(series["Fugaku"][512] > series["Fugaku"][16] * 4,
+               "Fugaku scales well beyond its 16-node memory floor");
+  return 0;
+}

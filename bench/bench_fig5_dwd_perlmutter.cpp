@@ -1,0 +1,73 @@
+/// Reproduces Fig. 5: the DWD scenario (level 12, 5,150,720 sub-grids in
+/// the paper, sized to fit one 28-GB Fugaku node) on Perlmutter with
+/// 4x A100, Perlmutter CPU-only, and Fugaku; runs were limited to 128
+/// nodes during Perlmutter's phase-1 test period.
+/// Paper findings: GPUs win by a wide margin; turning them off drops
+/// throughput by orders of magnitude; Fugaku lands near the CPU-only run.
+
+#include <map>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace octo;
+  bench::header(
+      "Fig. 5 — DWD on Perlmutter (with/without GPUs) and Fugaku",
+      "Perlmutter 4x A100 fastest by a large factor; CPU-only Perlmutter "
+      "orders of magnitude slower; Fugaku close to CPU-only Perlmutter");
+
+  auto sc = scen::dwd();
+  const auto topo = sc.make_topology(7);
+  const double scale =
+      bench::workload_scale(sc.paper_subgrids, topo.num_leaves());
+  std::printf("tree: %lld sub-grids (paper: %lld; node axis scaled by %.1f)\n\n",
+              static_cast<long long>(topo.num_leaves()),
+              static_cast<long long>(sc.paper_subgrids), scale);
+
+  const std::vector<int> node_axis = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::map<std::string, std::map<int, double>> series;
+
+  for (const int nodes : node_axis) {
+    des::workload_options gpu;
+    des::workload_options cpu;
+    cpu.use_gpus = false;
+    series["pm_gpu"][nodes] =
+        bench::run_scaled(topo, machine::perlmutter(), nodes,
+                          sc.paper_subgrids, gpu).cells_per_sec;
+    series["pm_cpu"][nodes] =
+        bench::run_scaled(topo, machine::perlmutter(), nodes,
+                          sc.paper_subgrids, cpu).cells_per_sec;
+    series["fugaku"][nodes] =
+        bench::run_scaled(topo, machine::fugaku(), nodes, sc.paper_subgrids,
+                          cpu).cells_per_sec;
+  }
+
+  table ta({"nodes", "Perlmutter 4xA100", "Perlmutter CPU-only", "Fugaku"});
+  table tb({"nodes", "speedup 4xA100", "speedup CPU-only", "speedup Fugaku"});
+  for (const int nodes : node_axis) {
+    ta.add_row({table::fmt(static_cast<long long>(nodes)),
+                table::fmt(series["pm_gpu"][nodes]),
+                table::fmt(series["pm_cpu"][nodes]),
+                table::fmt(series["fugaku"][nodes])});
+    tb.add_row({table::fmt(static_cast<long long>(nodes)),
+                table::fmt(series["pm_gpu"][nodes] / series["pm_gpu"][1]),
+                table::fmt(series["pm_cpu"][nodes] / series["pm_cpu"][1]),
+                table::fmt(series["fugaku"][nodes] / series["fugaku"][1])});
+  }
+  std::printf("(a) processed cells per second\n");
+  ta.print(std::cout);
+  std::printf("\n(b) speedup vs one node\n");
+  tb.print(std::cout);
+
+  const double ratio_gpu_cpu = series["pm_gpu"][16] / series["pm_cpu"][16];
+  const double ratio_fugaku = series["fugaku"][16] / series["pm_cpu"][16];
+  std::printf("\nGPU/CPU-only ratio at 16 nodes: %.1fx (paper: ~2 orders of "
+              "magnitude; our kernel-efficiency model reproduces the "
+              "direction at ~1.5 orders, see EXPERIMENTS.md)\n",
+              ratio_gpu_cpu);
+  bench::check(ratio_gpu_cpu > 10,
+               "GPUs more than an order of magnitude above CPU-only");
+  bench::check(ratio_fugaku > 0.4 && ratio_fugaku < 2.5,
+               "Fugaku close to the CPU-only Perlmutter run");
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// Reproduces Fig. 6: distributed scaling of the rotating-star problem on
+/// Supercomputer Fugaku with SVE vectorization and the communication
+/// optimization enabled, for refinement level 5 (2.5M cells, 1-256 nodes),
+/// level 6 (14.2M cells, 128-1024), and level 7 (88.6M cells, 400-1024).
+/// Paper findings: L5 scales to ~64 nodes before running out of work;
+/// L6 to ~512; L7 still scales at 1024.
+
+#include <map>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace octo;
+  bench::header(
+      "Fig. 6 — rotating star scaling on Fugaku (levels 5/6/7)",
+      "level 5 scales to ~64 nodes, level 6 to ~512, level 7 keeps scaling "
+      "at 1024 (enough work per core)");
+
+  auto sc = scen::rotating_star();
+  const auto m = machine::fugaku();
+  des::workload_options opt;  // SVE on, comm-opt on (paper's §VI-D config)
+
+  struct series_def {
+    int level;
+    std::vector<int> nodes;
+  };
+  const std::vector<series_def> defs = {
+      {5, {1, 2, 4, 8, 16, 32, 64, 128, 256}},
+      {6, {128, 256, 512, 1024}},
+      {7, {400, 512, 1024}},
+  };
+
+  std::map<int, std::map<int, double>> cells_per_sec;
+  for (const auto& def : defs) {
+    const auto topo = sc.make_topology(def.level);
+    std::printf("level %d: %lld sub-grids, %.3g cells (paper: %s)\n",
+                def.level, static_cast<long long>(topo.num_leaves()),
+                static_cast<double>(topo.num_cells()),
+                def.level == 5   ? "2.5M"
+                : def.level == 6 ? "14.2M"
+                                 : "88.6M");
+    for (const int nodes : def.nodes) {
+      const auto r = des::run_experiment(topo, m, nodes, opt);
+      cells_per_sec[def.level][nodes] = r.cells_per_sec;
+    }
+  }
+
+  std::printf("\n");
+  table t({"nodes", "level 5 cells/s", "level 6 cells/s", "level 7 cells/s"});
+  for (const int nodes : {1, 2, 4, 8, 16, 32, 64, 128, 256, 400, 512, 1024}) {
+    const auto cell = [&](int lvl) -> std::string {
+      const auto& s = cells_per_sec[lvl];
+      const auto it = s.find(nodes);
+      return it == s.end() ? "-" : table::fmt(it->second);
+    };
+    t.add_row({table::fmt(static_cast<long long>(nodes)), cell(5), cell(6),
+               cell(7)});
+  }
+  t.print(std::cout);
+
+  // Shape checks.
+  const auto& l5 = cells_per_sec[5];
+  const auto& l6 = cells_per_sec[6];
+  const auto& l7 = cells_per_sec[7];
+  bench::check(l5.at(64) / l5.at(1) > 25,
+               "level 5 scales well to 64 nodes (>25x of 1 node)");
+  bench::check(l5.at(256) / l5.at(64) < 2.5,
+               "level 5 runs out of work beyond ~64 nodes");
+  bench::check(l6.at(512) / l6.at(128) > 1.8,
+               "level 6 still scales from 128 to 512 nodes (2x over 4x nodes)");
+  bench::check(l6.at(1024) / l6.at(512) < 1.7,
+               "level 6 flattens toward 1024 nodes");
+  bench::check(l7.at(1024) / l7.at(400) > 1.8,
+               "level 7 has enough work to keep scaling to 1024 nodes");
+  return 0;
+}

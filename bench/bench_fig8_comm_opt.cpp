@@ -1,0 +1,50 @@
+/// Reproduces Fig. 8: influence of the same-locality communication
+/// optimization (§VII-B: direct memory access instead of HPX actions and
+/// temporary buffers, with promise/future up-to-date notification).
+/// Paper finding: benefit at 1-4 nodes, break-even around 8, slightly
+/// worse at larger node counts (the bookkeeping outweighs the shrinking
+/// local savings).
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace octo;
+  bench::header(
+      "Fig. 8 — local-communication optimization on Ookami (level 5)",
+      "benefit when most neighbor pairs are on-locality (small node "
+      "counts); break-even near 8-16 nodes; slightly worse beyond as the "
+      "up-to-date bookkeeping outweighs the savings");
+
+  auto sc = scen::rotating_star();
+  const auto topo = sc.make_topology(5);
+  const auto m = machine::ookami();
+
+  table t({"nodes", "cells/s ON", "cells/s OFF", "ON/OFF", "remote frac"});
+  double ratio1 = 0, ratio128 = 0;
+  for (const int nodes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    des::workload_options on;
+    des::workload_options off;
+    off.comm_opt = false;
+    const auto r_on = des::run_experiment(topo, m, nodes, on);
+    const auto r_off = des::run_experiment(topo, m, nodes, off);
+    const double ratio = r_on.cells_per_sec / r_off.cells_per_sec;
+    const auto part = tree::partition_sfc(topo, nodes);
+    t.add_row({table::fmt(static_cast<long long>(nodes)),
+               table::fmt(r_on.cells_per_sec),
+               table::fmt(r_off.cells_per_sec), table::fmt(ratio),
+               table::fmt(tree::remote_link_fraction(topo, part))});
+    if (nodes == 1) ratio1 = ratio;
+    if (nodes == 128) ratio128 = ratio;
+  }
+  t.print(std::cout);
+
+  bench::check(ratio1 > 1.005, "clear benefit on one node (all pairs local)");
+  bench::check(ratio128 < 1.01,
+               "no benefit left at 128 nodes (paper: slightly worse; in our "
+               "model idle cores absorb the bookkeeping, so it lands at "
+               "break-even)");
+  std::printf("note: our SFC partition keeps more locality than "
+              "Octo-Tiger's distribution, so the break-even lands at ~16 "
+              "nodes instead of the paper's 8 (see EXPERIMENTS.md)\n");
+  return 0;
+}

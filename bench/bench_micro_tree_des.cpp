@@ -1,0 +1,71 @@
+/// Costs of the structural machinery: AMR tree construction, SFC
+/// partitioning and the discrete-event engine's event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "des/workload.hpp"
+#include "scenarios/scenarios.hpp"
+#include "tree/partition.hpp"
+
+namespace {
+
+using namespace octo;
+
+void topology_build(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  auto sc = scen::rotating_star();
+  for (auto _ : state) {
+    tree::topology topo(sc.domain_half, level, sc.refine);
+    benchmark::DoNotOptimize(topo.num_leaves());
+  }
+}
+
+void partition_sfc_bench(benchmark::State& state) {
+  auto sc = scen::rotating_star();
+  tree::topology topo(sc.domain_half, 5, sc.refine);
+  for (auto _ : state) {
+    auto p = tree::partition_sfc(topo, 64);
+    benchmark::DoNotOptimize(p.owner_of_node.data());
+  }
+  state.SetItemsProcessed(state.iterations() * topo.num_leaves());
+}
+
+void neighbor_queries(benchmark::State& state) {
+  auto sc = scen::rotating_star();
+  tree::topology topo(sc.domain_half, 4, sc.refine);
+  for (auto _ : state) {
+    index_t acc = 0;
+    for (const index_t leaf : topo.leaves())
+      for (int d = 0; d < NNEIGHBOR; ++d)
+        acc += topo.neighbor_or_coarser(leaf, d);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * topo.num_leaves() * 26);
+}
+
+void des_engine_throughput(benchmark::State& state) {
+  // wide synthetic graph: events/second of the simulator core
+  auto sc = scen::rotating_star();
+  tree::topology topo(sc.domain_half, 4, sc.refine);
+  const auto part = tree::partition_sfc(topo, 16);
+  const des::workload_options opt;
+  for (auto _ : state) {
+    des::graph g = des::build_step_graph(topo, part, machine::fugaku(), opt);
+    des::engine_config cfg;
+    cfg.machine = machine::fugaku();
+    cfg.num_nodes = 16;
+    const auto r = des::simulate(g, cfg);
+    benchmark::DoNotOptimize(r.makespan);
+    state.counters["tasks"] = static_cast<double>(r.tasks_executed);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(topology_build)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond)->ArgName("level");
+BENCHMARK(partition_sfc_bench);
+BENCHMARK(neighbor_queries);
+BENCHMARK(des_engine_throughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/// Reproduces Table II: average power consumption on Supercomputer Fugaku
+/// for the Fig. 6 runs, as measured there with PowerAPI.  The paper's
+/// magnitudes grow with node count (they are totals over the job's nodes,
+/// ~90-110 W per A64FX node); we print both the total and per-node values
+/// from the DES utilization-based power model.
+
+#include <map>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace octo;
+  bench::header(
+      "Table II — average power consumption on Fugaku (PowerAPI model)",
+      "total job power grows ~linearly with node count at ~90-125 W per "
+      "node; per-node power falls when nodes starve (lower utilization)");
+
+  auto sc = scen::rotating_star();
+  const auto m = machine::fugaku();
+  des::workload_options opt;
+
+  const std::vector<std::pair<int, std::vector<int>>> defs = {
+      {5, {4, 16, 32, 128, 256}},
+      {6, {128, 256, 512, 1024}},
+      {7, {512, 1024}},
+  };
+
+  table t({"level", "nodes", "total W", "W/node", "paper total W"});
+  // The paper's Table II entries we can anchor against (level, nodes, W).
+  const std::map<std::pair<int, int>, double> paper = {
+      {{5, 4}, 373.94},    {{5, 16}, 1145.69},  {{5, 32}, 1969.14},
+      {{5, 128}, 11908.93}, {{5, 256}, 15228.07}, {{6, 128}, 8659.86},
+      {{6, 256}, 19274},   {{6, 1024}, 111261.36}, {{7, 512}, 55310.55},
+      {{7, 1024}, 111235.41}};
+
+  bool per_node_plausible = true;
+  for (const auto& [level, node_list] : defs) {
+    const auto topo = sc.make_topology(level);
+    for (const int nodes : node_list) {
+      const auto r = des::run_experiment(topo, m, nodes, opt);
+      const auto key = std::make_pair(level, nodes);
+      const auto it = paper.find(key);
+      t.add_row({table::fmt(static_cast<long long>(level)),
+                 table::fmt(static_cast<long long>(nodes)),
+                 table::fmt(r.total_power_w),
+                 table::fmt(r.avg_node_power_w),
+                 it == paper.end() ? "-" : table::fmt(it->second)});
+      if (r.avg_node_power_w < 60 || r.avg_node_power_w > 135)
+        per_node_plausible = false;
+    }
+  }
+  t.print(std::cout);
+
+  bench::check(per_node_plausible,
+               "per-node power within the A64FX envelope (60-135 W)");
+  // Linear-in-nodes shape at fixed level when utilization is comparable.
+  const auto topo6 = sc.make_topology(6);
+  const auto a = des::run_experiment(topo6, m, 128, opt);
+  const auto b = des::run_experiment(topo6, m, 512, opt);
+  bench::check(b.total_power_w > 3 * a.total_power_w,
+               "total power grows ~linearly with node count");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+/// \file fig_common.hpp
+/// Shared helpers for the figure/table reproduction harness.
+///
+/// Each bench_figN binary regenerates one figure or table of the paper's
+/// evaluation: it sweeps the same axis (node counts, core counts, knob
+/// on/off), prints the series as a table, and emits PASS/CHECK lines for
+/// the qualitative claims the paper makes about that figure.  Absolute
+/// throughputs come from the calibrated DES (see DESIGN.md §4); the claims
+/// verified here are the *shapes*.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "des/workload.hpp"
+#include "machine/spec.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace octo::bench {
+
+inline void header(const std::string& title, const std::string& paper_claim) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+inline void check(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "CHECK", what.c_str());
+}
+
+/// Scale factor between the paper's workload and the tree we can hold in
+/// memory (informational).
+inline double workload_scale(index_t paper_subgrids, index_t our_subgrids) {
+  if (paper_subgrids == 0) return 1.0;
+  return static_cast<double>(paper_subgrids) /
+         static_cast<double>(our_subgrids);
+}
+
+/// Run a paper-sized configuration on a smaller tree by matching
+/// *sub-grids per node*: simulate n_sim nodes such that our tree's
+/// leaves/node equals the paper's, then scale the per-node rate back to
+/// the paper's node count (weak-scaling equivalence; see EXPERIMENTS.md).
+/// When even one simulated node holds fewer sub-grids than a paper node
+/// would (deeply saturated regimes), the per-node rate is taken from the
+/// one-node run — both regimes are compute-bound, so this is accurate to
+/// the (small) difference in surface-to-volume communication.
+struct scaled_run {
+  double cells_per_sec = 0;  ///< projected for the paper-sized workload
+  int sim_nodes = 1;
+};
+
+inline scaled_run run_scaled(const tree::topology& topo,
+                             const machine::machine_spec& m, int paper_nodes,
+                             index_t paper_subgrids,
+                             const des::workload_options& opt) {
+  double ratio = static_cast<double>(paper_nodes);
+  if (paper_subgrids > 0)
+    ratio = static_cast<double>(topo.num_leaves()) * paper_nodes /
+            static_cast<double>(paper_subgrids);
+  const int n_sim =
+      std::max(1, std::min(1024, static_cast<int>(ratio + 0.5)));
+  const auto r = des::run_experiment(topo, m, n_sim, opt);
+  return {r.cells_per_sec / n_sim * paper_nodes, n_sim};
+}
+
+}  // namespace octo::bench

@@ -1,0 +1,77 @@
+/// Demonstrates the in-process multi-locality runtime and the paper's
+/// §VII-B communication optimization: the same step executed across
+/// several localities, with and without same-locality direct ghost access.
+/// The evolved states are bitwise identical; the exchange statistics show
+/// exactly what the optimization removes.
+///
+///   ./distributed_demo [localities=4] [level=2] [steps=2] [threads=4]
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "dist/cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace octo;
+  const auto cfg = config::from_args(argc, argv);
+  const int nloc = cfg.get("localities", 4);
+  const int level = cfg.get("level", 2);
+  const int steps = cfg.get("steps", 2);
+  const int threads = cfg.get("threads", 4);
+
+  amt::runtime rt(static_cast<unsigned>(threads));
+  amt::scoped_global_runtime guard(rt);
+
+  auto sc = scen::rotating_star();
+  app::sim_options so;
+  so.max_level = level;
+
+  std::printf("rotating star level %d across %d localities\n\n", level,
+              nloc);
+
+  dist::cluster* reference = nullptr;
+  dist::cluster clusters[2] = {
+      dist::cluster(sc, {.num_localities = nloc,
+                         .local_optimization = true,
+                         .sim = so}),
+      dist::cluster(sc, {.num_localities = nloc,
+                         .local_optimization = false,
+                         .sim = so}),
+  };
+  const char* labels[2] = {"optimized (direct local access)",
+                           "baseline (serialize everything)"};
+
+  for (int v = 0; v < 2; ++v) {
+    auto& cl = clusters[v];
+    cl.initialize();
+    for (int s = 0; s < steps; ++s) cl.step();
+    const auto st = cl.stats();
+    const auto lg = cl.measure();
+    std::printf("%s:\n", labels[v]);
+    std::printf("  slabs: %llu direct, %llu serialized-local, %llu remote\n",
+                static_cast<unsigned long long>(st.local_direct),
+                static_cast<unsigned long long>(st.local_serialized),
+                static_cast<unsigned long long>(st.remote_messages));
+    std::printf("  serialized volume: %.2f MB   mass=%.12f\n\n",
+                static_cast<double>(st.bytes_serialized) / (1 << 20),
+                lg.mass);
+    if (v == 0) reference = &cl;
+  }
+
+  // Bitwise equivalence across the two communication paths.
+  double maxdiff = 0;
+  for (const index_t leaf : reference->topo().leaves()) {
+    const auto& a = clusters[0].leaf(leaf);
+    const auto& b = clusters[1].leaf(leaf);
+    for (int f = 0; f < grid::NFIELD; ++f)
+      for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j)
+          for (int k = 0; k < 8; ++k)
+            maxdiff = std::max(maxdiff,
+                               std::abs(a.at(f, i, j, k) - b.at(f, i, j, k)));
+  }
+  std::printf("max |optimized - baseline| over every cell: %.1e %s\n",
+              maxdiff, maxdiff == 0 ? "(bitwise identical)" : "");
+  return 0;
+}

@@ -1,0 +1,94 @@
+/// Stellar-merger scenario demo: initialize the V1309-like contact binary
+/// (or the DWD system) through the self-consistent-field module and evolve
+/// it in the co-rotating frame, tracking the two components through their
+/// species tracers (§III / §IV-C of the paper).
+///
+///   ./stellar_merger [scenario=v1309|dwd] [level=2] [steps=3] [threads=4]
+
+#include <cstdio>
+
+#include "app/simulation.hpp"
+#include "common/config.hpp"
+#include "common/stopwatch.hpp"
+#include "scf/binary_scf.hpp"
+
+namespace {
+
+/// Center of mass of each binary component from the species tracers.
+struct component_state {
+  octo::real mass = 0;
+  octo::rvec3 com{0, 0, 0};
+};
+
+std::array<component_state, 2> components(const octo::app::simulation& sim) {
+  using namespace octo;
+  std::array<component_state, 2> comp{};
+  for (const index_t leaf : sim.topo().leaves()) {
+    const auto& u = sim.leaf(leaf);
+    const real vol = u.cell_volume();
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        for (int k = 0; k < 8; ++k) {
+          const rvec3 x = u.cell_center(i, j, k);
+          const real m0 = u.at(grid::f_spc0, i, j, k) * vol;
+          const real m1 = u.at(grid::f_spc1, i, j, k) * vol;
+          comp[0].mass += m0;
+          comp[0].com += m0 * x;
+          comp[1].mass += m1;
+          comp[1].com += m1 * x;
+        }
+  }
+  for (auto& c : comp)
+    if (c.mass > 0) c.com /= c.mass;
+  return comp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace octo;
+  const auto cfg = config::from_args(argc, argv);
+  const std::string name = cfg.get("scenario", std::string("v1309"));
+  const int level = cfg.get("level", 2);
+  const int steps = cfg.get("steps", 3);
+  const int threads = cfg.get("threads", 4);
+
+  amt::runtime rt(static_cast<unsigned>(threads));
+  amt::scoped_global_runtime guard(rt);
+
+  auto sc = scen::by_name(name);
+  std::printf("scenario: %s — %s\n", sc.name.c_str(), sc.note.c_str());
+
+  app::sim_options opt;
+  opt.max_level = level;
+  app::simulation sim(sc, opt);
+
+  stopwatch watch;
+  std::printf("running SCF initialization + tree build (level %d)...\n",
+              level);
+  sim.initialize();
+  std::printf("initialized %lld sub-grids in %.1fs\n",
+              static_cast<long long>(sim.num_leaves()), watch.seconds());
+
+  const auto l0 = sim.measure();
+  auto c0 = components(sim);
+  std::printf("t=0: M=%.5f (star1 %.5f + star2 %.5f, q=%.3f)  "
+              "separation=%.4f\n",
+              l0.mass, c0[0].mass, c0[1].mass, c0[1].mass / c0[0].mass,
+              norm(c0[1].com - c0[0].com));
+
+  for (int s = 0; s < steps; ++s) {
+    const real dt = sim.step();
+    const auto lg = sim.measure();
+    const auto c = components(sim);
+    std::printf("step %2d dt=%.3e: dM/M=%+.2e  separation=%.4f  "
+                "Lz=%+.4e\n",
+                sim.steps_taken(), dt, (lg.mass - l0.mass) / l0.mass,
+                norm(c[1].com - c[0].com), lg.ang_momentum.z);
+  }
+  std::printf("\nThe components stay distinct through their tracer fields; "
+              "in a production run the orbit decays over many periods "
+              "until dynamical mass transfer sets in (Fig. 1 of the "
+              "paper).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#pragma once
+/// \file channel.hpp
+/// Asynchronous channels in the HPX style: `send(v)` pairs with a
+/// `receive()` that returns a future.  Octo-Tiger uses exactly this shape
+/// for ghost-layer exchange: the receiver asks for the boundary *before*
+/// it arrives and attaches the unpack continuation to the future.
+///
+/// Values and receivers may arrive in either order; pairing is FIFO.
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "amt/future.hpp"
+
+namespace octo::amt {
+
+template <typename T>
+class channel {
+ public:
+  channel() = default;
+  channel(const channel&) = delete;
+  channel& operator=(const channel&) = delete;
+
+  /// Deliver a value; completes the oldest pending receive if any.
+  void send(T value) {
+    promise<T> waiter;
+    bool have_waiter = false;
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (!receivers_.empty()) {
+        waiter = std::move(receivers_.front());
+        receivers_.pop_front();
+        have_waiter = true;
+      } else {
+        values_.push_back(std::move(value));
+      }
+    }
+    if (have_waiter) waiter.set_value(std::move(value));
+  }
+
+  /// Future for the next value (FIFO with respect to other receives).
+  future<T> receive() {
+    promise<T> p;
+    auto f = p.get_future();
+    std::optional<T> ready_value;
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (!values_.empty()) {
+        ready_value.emplace(std::move(values_.front()));
+        values_.pop_front();
+      } else {
+        receivers_.push_back(p);
+      }
+    }
+    if (ready_value) p.set_value(std::move(*ready_value));
+    return f;
+  }
+
+  /// Number of values buffered and waiting for a receiver.
+  std::size_t buffered() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return values_.size();
+  }
+
+  /// Number of receivers waiting for a value.
+  std::size_t waiting() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return receivers_.size();
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::deque<T> values_;
+  std::deque<promise<T>> receivers_;
+};
+
+}  // namespace octo::amt

@@ -1,0 +1,389 @@
+#pragma once
+/// \file future.hpp
+/// Futures and promises with continuations, in the HPX style.
+///
+/// Differences from std::future that matter for an AMT runtime:
+///   * `future::then(f)` attaches a continuation that is *posted as a task*
+///     when the value arrives — this is how Octo-Tiger chains "launch Kokkos
+///     kernel, then send boundary" without fork-join barriers (§IV-B);
+///   * `get()`/`wait()` called from a worker thread help-execute pending
+///     tasks instead of blocking, so nested waits cannot starve the pool;
+///   * `when_all` composes vectors of futures into one.
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "amt/runtime.hpp"
+#include "amt/unique_function.hpp"
+#include "common/error.hpp"
+
+namespace octo::amt {
+
+template <typename T>
+class future;
+template <typename T>
+class promise;
+
+namespace detail {
+
+struct unit {};
+
+/// Result type of a continuation F applied to a future<T>'s value
+/// (F() for T == void).  Lazily evaluated so only the valid branch is
+/// instantiated.
+template <typename F, typename T>
+struct cont_result {
+  using type = std::invoke_result_t<F, T>;
+};
+template <typename F>
+struct cont_result<F, void> {
+  using type = std::invoke_result_t<F>;
+};
+template <typename F, typename T>
+using cont_result_t = typename cont_result<F, T>::type;
+
+template <typename T>
+using storage_of = std::conditional_t<std::is_void_v<T>, unit, T>;
+
+/// State shared by one promise and one (or more, via shared_future) futures.
+template <typename T>
+class shared_state {
+  using storage_t = storage_of<T>;
+
+ public:
+  bool ready() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return ready_unlocked();
+  }
+
+  void set_value(storage_t v) {
+    std::vector<unique_function<void()>> conts;
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      OCTO_CHECK_MSG(!ready_unlocked(), "promise already satisfied");
+      value_.emplace(std::move(v));
+      conts.swap(continuations_);
+    }
+    for (auto& c : conts) c();
+  }
+
+  void set_exception(std::exception_ptr e) {
+    std::vector<unique_function<void()>> conts;
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      OCTO_CHECK_MSG(!ready_unlocked(), "promise already satisfied");
+      eptr_ = std::move(e);
+      conts.swap(continuations_);
+    }
+    for (auto& c : conts) c();
+  }
+
+  /// Attach a continuation; runs immediately (on the caller) if already
+  /// ready, otherwise runs on whichever thread satisfies the promise.
+  void add_continuation(unique_function<void()> c) {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (!ready_unlocked()) {
+        continuations_.push_back(std::move(c));
+        return;
+      }
+    }
+    c();
+  }
+
+  /// Block until ready, helping the runtime if called from a worker thread.
+  void wait(runtime* rt) {
+    if (ready()) return;
+    if (rt != nullptr && rt->on_worker_thread()) {
+      while (!ready()) {
+        if (!rt->try_run_one()) std::this_thread::yield();
+      }
+      return;
+    }
+    // External thread: also try to help the global pool rather than spin.
+    runtime* helper = rt;
+    while (!ready()) {
+      if (helper == nullptr || !helper->try_run_one())
+        std::this_thread::yield();
+    }
+  }
+
+  /// Move the value out (call once, after wait()).
+  storage_t take() {
+    const std::lock_guard<std::mutex> lock(m_);
+    OCTO_ASSERT(ready_unlocked());
+    if (eptr_) std::rethrow_exception(eptr_);
+    storage_t v = std::move(*value_);
+    value_.reset();
+    taken_ = true;
+    return v;
+  }
+
+  /// Copy the value (shared_future semantics).
+  const storage_t& peek() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    OCTO_ASSERT(ready_unlocked());
+    if (eptr_) std::rethrow_exception(eptr_);
+    return *value_;
+  }
+
+  bool has_exception() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return static_cast<bool>(eptr_);
+  }
+
+ private:
+  bool ready_unlocked() const {
+    return value_.has_value() || eptr_ != nullptr || taken_;
+  }
+
+  mutable std::mutex m_;
+  std::optional<storage_t> value_;
+  std::exception_ptr eptr_;
+  bool taken_ = false;
+  std::vector<unique_function<void()>> continuations_;
+};
+
+}  // namespace detail
+
+template <typename T>
+class promise {
+ public:
+  promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+
+  future<T> get_future();
+
+  template <typename U = T, typename = std::enable_if_t<!std::is_void_v<U>>>
+  void set_value(U v) {
+    state_->set_value(std::move(v));
+  }
+
+  template <typename U = T, typename = std::enable_if_t<std::is_void_v<U>>>
+  void set_value() {
+    state_->set_value(detail::unit{});
+  }
+
+  void set_exception(std::exception_ptr e) {
+    state_->set_exception(std::move(e));
+  }
+
+  std::shared_ptr<detail::shared_state<T>> state() const { return state_; }
+
+ private:
+  std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+template <typename T>
+class future {
+ public:
+  future() = default;
+  explicit future(std::shared_ptr<detail::shared_state<T>> s)
+      : state_(std::move(s)) {}
+
+  future(future&&) noexcept = default;
+  future& operator=(future&&) noexcept = default;
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+  bool is_ready() const { return state_ && state_->ready(); }
+
+  void wait(runtime& rt = runtime::global()) const {
+    OCTO_ASSERT(valid());
+    state_->wait(&rt);
+  }
+
+  /// Wait and retrieve; consumes the future's value.
+  T get(runtime& rt = runtime::global()) {
+    OCTO_ASSERT(valid());
+    state_->wait(&rt);
+    auto s = std::move(state_);
+    if constexpr (std::is_void_v<T>) {
+      s->take();
+      return;
+    } else {
+      return s->take();
+    }
+  }
+
+  /// Attach a continuation `f(T)` (or `f()` for void); the continuation is
+  /// posted to \p rt as a fresh task.  Returns the continuation's future.
+  template <typename F>
+  auto then(F&& f, runtime& rt = runtime::global())
+      -> future<detail::cont_result_t<F, T>> {
+    return then_impl(std::forward<F>(f), rt, /*inline_continuation=*/false);
+  }
+
+  /// Like then(), but the continuation runs inline on the thread that makes
+  /// the value ready (cheap glue code only — do not block in it).
+  template <typename F>
+  auto then_inline(F&& f, runtime& rt = runtime::global())
+      -> future<detail::cont_result_t<F, T>> {
+    return then_impl(std::forward<F>(f), rt, /*inline_continuation=*/true);
+  }
+
+  std::shared_ptr<detail::shared_state<T>> state() const { return state_; }
+
+ private:
+  template <typename F>
+  auto then_impl(F&& f, runtime& rt, bool inline_continuation) {
+    using R = detail::cont_result_t<F, T>;
+    OCTO_ASSERT(valid());
+    promise<R> p;
+    auto result = p.get_future();
+    auto state = std::move(state_);
+    auto run = [state, p, fn = std::forward<F>(f)]() mutable {
+      try {
+        if constexpr (std::is_void_v<T>) {
+          state->take();
+          if constexpr (std::is_void_v<R>) {
+            fn();
+            p.set_value();
+          } else {
+            p.set_value(fn());
+          }
+        } else {
+          if constexpr (std::is_void_v<R>) {
+            fn(state->take());
+            p.set_value();
+          } else {
+            p.set_value(fn(state->take()));
+          }
+        }
+      } catch (...) {
+        p.set_exception(std::current_exception());
+      }
+    };
+    if (inline_continuation) {
+      state->add_continuation(std::move(run));
+    } else {
+      auto* rt_ptr = &rt;
+      state->add_continuation(
+          [rt_ptr, run = std::move(run)]() mutable {
+            rt_ptr->post(std::move(run));
+          });
+    }
+    return result;
+  }
+
+  std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+template <typename T>
+future<T> promise<T>::get_future() {
+  return future<T>(state_);
+}
+
+// ---------------------------------------------------------------------------
+// factories and combinators
+// ---------------------------------------------------------------------------
+
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& v) {
+  promise<std::decay_t<T>> p;
+  p.set_value(std::forward<T>(v));
+  return p.get_future();
+}
+
+inline future<void> make_ready_future() {
+  promise<void> p;
+  p.set_value();
+  return p.get_future();
+}
+
+/// Spawn `f()` as a task; returns the future of its result.
+template <typename F>
+auto async(F&& f, runtime& rt = runtime::global())
+    -> future<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  promise<R> p;
+  auto result = p.get_future();
+  rt.post([p, fn = std::forward<F>(f)]() mutable {
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn();
+        p.set_value();
+      } else {
+        p.set_value(fn());
+      }
+    } catch (...) {
+      p.set_exception(std::current_exception());
+    }
+  });
+  return result;
+}
+
+/// All futures ready -> future<void>.  Exceptions: the first one observed
+/// wins; the rest are dropped (matching HPX's when_all().get() behaviour
+/// closely enough for our use).
+template <typename T>
+future<void> when_all(std::vector<future<T>> futures,
+                      runtime& rt = runtime::global()) {
+  (void)rt;
+  if (futures.empty()) return make_ready_future();
+  struct join_state {
+    std::atomic<std::size_t> remaining;
+    std::mutex m;
+    std::exception_ptr first_error;
+    promise<void> done;
+    explicit join_state(std::size_t n) : remaining(n) {}
+  };
+  auto js = std::make_shared<join_state>(futures.size());
+  auto result = js->done.get_future();
+  for (auto& f : futures) {
+    auto state = f.state();
+    OCTO_ASSERT(state != nullptr);
+    state->add_continuation([js, state] {
+      if (state->has_exception()) {
+        const std::lock_guard<std::mutex> lock(js->m);
+        if (!js->first_error) {
+          try {
+            state->take();
+          } catch (...) {
+            js->first_error = std::current_exception();
+          }
+        }
+      }
+      if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (js->first_error)
+          js->done.set_exception(js->first_error);
+        else
+          js->done.set_value();
+      }
+    });
+  }
+  return result;
+}
+
+/// Gather the values of a vector of futures into a vector.
+template <typename T>
+future<std::vector<T>> when_all_values(std::vector<future<T>> futures,
+                                       runtime& rt = runtime::global()) {
+  struct gather_state {
+    std::vector<std::shared_ptr<detail::shared_state<T>>> states;
+  };
+  auto gs = std::make_shared<gather_state>();
+  gs->states.reserve(futures.size());
+  for (auto& f : futures) gs->states.push_back(f.state());
+  return when_all(std::move(futures), rt).then_inline([gs] {
+    std::vector<T> out;
+    out.reserve(gs->states.size());
+    for (auto& s : gs->states) out.push_back(s->take());
+    return out;
+  });
+}
+
+/// Wait for every future in the vector (helping the scheduler).
+template <typename T>
+void wait_all(std::vector<future<T>>& futures,
+              runtime& rt = runtime::global()) {
+  for (auto& f : futures) f.wait(rt);
+}
+
+}  // namespace octo::amt

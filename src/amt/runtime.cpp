@@ -1,0 +1,184 @@
+#include "amt/runtime.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace octo::amt {
+
+namespace {
+
+/// Per-thread identity: which runtime and worker the current thread is.
+thread_local runtime* tls_runtime = nullptr;
+thread_local int tls_worker_index = -1;
+
+std::atomic<runtime*> g_global{nullptr};
+std::mutex g_global_mutex;
+
+}  // namespace
+
+runtime::runtime(unsigned num_threads) {
+  OCTO_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<worker>(static_cast<int>(i)));
+    std::uint64_t seed = 0x9E3779B97F4A7C15ULL * (i + 1);
+    workers_.back()->rng_state = splitmix64(seed);
+  }
+  threads_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(*workers_[i]); });
+  }
+}
+
+runtime::~runtime() {
+  stopping_.store(true, std::memory_order_release);
+  notify_workers();
+  for (auto& t : threads_) t.join();
+  // Drain anything left (tasks own resources; just destroy them).
+  while (task_fn* t = pop_injected()) delete t;
+  for (auto& w : workers_) {
+    while (task_fn* t = w->deque.pop()) delete t;
+  }
+  if (g_global.load() == this) g_global.store(nullptr);
+}
+
+void runtime::post(task_fn f) {
+  OCTO_ASSERT(f);
+  auto* t = new task_fn(std::move(f));
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_runtime == this && tls_worker_index >= 0) {
+    workers_[tls_worker_index]->deque.push(t);
+  } else {
+    {
+      const std::lock_guard<std::mutex> lock(inject_mutex_);
+      injected_.push_back(t);
+    }
+    external_posts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (sleepers_.load(std::memory_order_acquire) > 0) notify_workers();
+}
+
+bool runtime::on_worker_thread() const { return tls_runtime == this; }
+
+int runtime::worker_index() const {
+  return tls_runtime == this ? tls_worker_index : -1;
+}
+
+task_fn* runtime::pop_injected() {
+  const std::lock_guard<std::mutex> lock(inject_mutex_);
+  if (injected_.empty()) return nullptr;
+  task_fn* t = injected_.front();
+  injected_.pop_front();
+  return t;
+}
+
+task_fn* runtime::find_task(worker* me) {
+  // 1. Own deque (only meaningful for workers).
+  if (me != nullptr) {
+    if (task_fn* t = me->deque.pop()) return t;
+  }
+  // 2. Injection queue.
+  if (task_fn* t = pop_injected()) return t;
+  // 3. Steal from a random victim, then sweep all.
+  const int n = static_cast<int>(workers_.size());
+  if (n > 1 || me == nullptr) {
+    std::uint64_t rng = me ? me->rng_state : 0x2545F4914F6CDD1DULL;
+    const int start = static_cast<int>(splitmix64(rng) % n);
+    if (me) me->rng_state = rng;
+    for (int k = 0; k < n; ++k) {
+      const int v = (start + k) % n;
+      if (me != nullptr && v == me->index) continue;
+      if (task_fn* t = workers_[v]->deque.steal()) {
+        if (me) ++me->steals;
+        return t;
+      }
+    }
+    if (me) ++me->failed_steals;
+  }
+  return nullptr;
+}
+
+bool runtime::try_run_one() {
+  worker* me = (tls_runtime == this && tls_worker_index >= 0)
+                   ? workers_[tls_worker_index].get()
+                   : nullptr;
+  task_fn* t = find_task(me);
+  if (t == nullptr) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  if (me) {
+    ++me->executed;
+  } else {
+    external_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (*t)();
+  delete t;
+  return true;
+}
+
+void runtime::worker_loop(worker& me) {
+  tls_runtime = this;
+  tls_worker_index = me.index;
+  int idle_spins = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (try_run_one()) {
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Nothing to do for a while: sleep with a bounded timeout.  The timeout
+    // (rather than relying purely on notifications) makes missed wakeups
+    // impossible to deadlock on.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    sleep_cv_.wait_for(lock, std::chrono::microseconds(500), [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+    idle_spins = 0;
+  }
+  tls_runtime = nullptr;
+  tls_worker_index = -1;
+}
+
+void runtime::notify_workers() {
+  const std::lock_guard<std::mutex> lock(sleep_mutex_);
+  sleep_cv_.notify_all();
+}
+
+runtime_stats runtime::stats() const {
+  runtime_stats s;
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->executed;
+    s.steals += w->steals;
+    s.failed_steals += w->failed_steals;
+  }
+  s.tasks_executed += external_executed_.load(std::memory_order_relaxed);
+  s.external_posts = external_posts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+runtime& runtime::global() {
+  runtime* rt = g_global.load(std::memory_order_acquire);
+  if (rt != nullptr) return *rt;
+  const std::lock_guard<std::mutex> lock(g_global_mutex);
+  rt = g_global.load(std::memory_order_acquire);
+  if (rt == nullptr) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    static runtime default_rt(hc == 0 ? 2 : hc);
+    g_global.store(&default_rt, std::memory_order_release);
+    rt = &default_rt;
+  }
+  return *rt;
+}
+
+void runtime::set_global(runtime* rt) {
+  g_global.store(rt, std::memory_order_release);
+}
+
+}  // namespace octo::amt

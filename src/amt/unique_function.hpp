@@ -1,0 +1,131 @@
+#pragma once
+/// \file unique_function.hpp
+/// Move-only type-erased callable with small-buffer optimization.
+///
+/// std::function requires copyable targets; task closures capture promises
+/// and owning buffers that are move-only, so the runtime needs its own
+/// wrapper.  The 48-byte inline buffer holds typical task closures (a few
+/// pointers plus a promise) without a heap allocation.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace octo::amt {
+
+template <typename Signature>
+class unique_function;
+
+template <typename R, typename... Args>
+class unique_function<R(Args...)> {
+  static constexpr std::size_t sbo_size = 48;
+  static constexpr std::size_t sbo_align = alignof(std::max_align_t);
+
+  struct vtable_t {
+    R (*invoke)(void* obj, Args&&... args);
+    void (*move_to)(void* from, void* to);  ///< move-construct into `to`
+    void (*destroy)(void* obj);
+    bool inline_storage;
+  };
+
+  template <typename F>
+  static constexpr bool fits_sbo =
+      sizeof(F) <= sbo_size && alignof(F) <= sbo_align &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F, bool Inline>
+  static const vtable_t* vtable_for() {
+    static const vtable_t vt = [] {
+      vtable_t v{};
+      v.inline_storage = Inline;
+      if constexpr (Inline) {
+        v.invoke = [](void* obj, Args&&... args) -> R {
+          return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+        };
+        v.move_to = [](void* from, void* to) {
+          ::new (to) F(std::move(*static_cast<F*>(from)));
+          static_cast<F*>(from)->~F();
+        };
+        v.destroy = [](void* obj) { static_cast<F*>(obj)->~F(); };
+      } else {
+        v.invoke = [](void* obj, Args&&... args) -> R {
+          return (**static_cast<F**>(obj))(std::forward<Args>(args)...);
+        };
+        v.move_to = [](void* from, void* to) {
+          *static_cast<F**>(to) = *static_cast<F**>(from);
+          *static_cast<F**>(from) = nullptr;
+        };
+        v.destroy = [](void* obj) { delete *static_cast<F**>(obj); };
+      }
+      return v;
+    }();
+    return &vt;
+  }
+
+ public:
+  unique_function() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, unique_function> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  unique_function(F&& f) {  // NOLINT: implicit, like std::function
+    using D = std::decay_t<F>;
+    if constexpr (fits_sbo<D>) {
+      ::new (storage_) D(std::forward<F>(f));
+      vt_ = vtable_for<D, true>();
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      vt_ = vtable_for<D, false>();
+    }
+  }
+
+  unique_function(unique_function&& o) noexcept {
+    if (o.vt_) {
+      o.vt_->move_to(o.storage_, storage_);
+      vt_ = o.vt_;
+      o.vt_ = nullptr;
+    }
+  }
+
+  unique_function& operator=(unique_function&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.vt_) {
+        o.vt_->move_to(o.storage_, storage_);
+        vt_ = o.vt_;
+        o.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  unique_function(const unique_function&) = delete;
+  unique_function& operator=(const unique_function&) = delete;
+
+  ~unique_function() { reset(); }
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    OCTO_ASSERT(vt_ != nullptr);
+    return vt_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  alignas(sbo_align) unsigned char storage_[sbo_size]{};
+  const vtable_t* vt_ = nullptr;
+};
+
+}  // namespace octo::amt

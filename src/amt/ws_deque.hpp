@@ -1,0 +1,126 @@
+#pragma once
+/// \file ws_deque.hpp
+/// Chase–Lev lock-free work-stealing deque.
+///
+/// The owner thread pushes and pops at the bottom; thieves steal from the
+/// top.  Memory ordering follows Lê, Pop, Cohen & Zappa Nardelli,
+/// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+/// Retired buffers are kept on a graveyard list until destruction so a
+/// concurrent thief never reads freed memory (no ABA / use-after-free).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace octo::amt {
+
+template <typename T>
+class ws_deque {
+  struct buffer {
+    explicit buffer(std::int64_t cap) : capacity(cap), mask(cap - 1),
+                                        slots(new std::atomic<T*>[cap]) {}
+    std::int64_t capacity;
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+
+    T* get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+ public:
+  explicit ws_deque(std::int64_t initial_capacity = 256)
+      : top_(0), bottom_(0), buf_(new buffer(initial_capacity)) {
+    graveyard_.emplace_back(buf_.load(std::memory_order_relaxed));
+  }
+
+  ws_deque(const ws_deque&) = delete;
+  ws_deque& operator=(const ws_deque&) = delete;
+
+  ~ws_deque() = default;  // graveyard_ owns every buffer ever allocated
+
+  /// Owner only.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    buffer* buf = buf_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only.  Returns nullptr if empty.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    buffer* buf = buf_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = buf->get(b);
+      if (t == b) {
+        // last element: race against thieves via CAS on top
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // lost the race
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread.  Returns nullptr if empty or on a lost race.
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    T* item = nullptr;
+    if (t < b) {
+      buffer* buf = buf_.load(std::memory_order_consume);
+      item = buf->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;  // lost to another thief or the owner
+      }
+    }
+    return item;
+  }
+
+  /// Approximate size (safe from any thread; may be stale).
+  std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  buffer* grow(buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    buffer* raw = fresh.get();
+    graveyard_.push_back(std::move(fresh));
+    buf_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<buffer*> buf_;
+  std::vector<std::unique_ptr<buffer>> graveyard_;  // owner-thread mutated
+};
+
+}  // namespace octo::amt

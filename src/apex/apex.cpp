@@ -1,0 +1,127 @@
+#include "apex/apex.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace octo::apex {
+
+registry& registry::instance() {
+  static registry r;
+  return r;
+}
+
+metric_id registry::timer(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < timer_slots_.size(); ++i)
+    if (timer_slots_[i]->name == name) return static_cast<metric_id>(i);
+  auto slot = std::make_unique<timer_slot>();
+  slot->name = name;
+  timer_slots_.push_back(std::move(slot));
+  return static_cast<metric_id>(timer_slots_.size() - 1);
+}
+
+metric_id registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < counter_slots_.size(); ++i)
+    if (counter_slots_[i]->name == name) return static_cast<metric_id>(i);
+  auto slot = std::make_unique<counter_slot>();
+  slot->name = name;
+  counter_slots_.push_back(std::move(slot));
+  return static_cast<metric_id>(counter_slots_.size() - 1);
+}
+
+void registry::sample(metric_id id, double seconds) {
+  if (!enabled()) return;
+  auto& s = *timer_slots_[static_cast<std::size_t>(id)];
+  const auto ns = static_cast<std::uint64_t>(seconds * 1e9);
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  s.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  // CAS loops for min/max (contention is negligible: samples are >> rare
+  // relative to the work they measure).
+  std::uint64_t cur = s.min_ns.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !s.min_ns.compare_exchange_weak(cur, ns, std::memory_order_relaxed))
+    ;
+  cur = s.max_ns.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !s.max_ns.compare_exchange_weak(cur, ns, std::memory_order_relaxed))
+    ;
+}
+
+void registry::add(metric_id id, std::uint64_t delta) {
+  if (!enabled()) return;
+  counter_slots_[static_cast<std::size_t>(id)]->value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::vector<registry::timer_stats> registry::timers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<timer_stats> out;
+  out.reserve(timer_slots_.size());
+  for (const auto& s : timer_slots_) {
+    timer_stats t;
+    t.name = s->name;
+    t.calls = s->calls.load(std::memory_order_relaxed);
+    t.total_seconds =
+        static_cast<double>(s->total_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    const auto mn = s->min_ns.load(std::memory_order_relaxed);
+    t.min_seconds = t.calls ? static_cast<double>(mn) * 1e-9 : 0;
+    t.max_seconds =
+        static_cast<double>(s->max_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<registry::counter_stats> registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<counter_stats> out;
+  out.reserve(counter_slots_.size());
+  for (const auto& s : counter_slots_)
+    out.push_back({s->name, s->value.load(std::memory_order_relaxed)});
+  return out;
+}
+
+void registry::report(std::ostream& os) const {
+  auto ts = timers();
+  std::sort(ts.begin(), ts.end(), [](const auto& a, const auto& b) {
+    return a.total_seconds > b.total_seconds;
+  });
+  table t({"timer", "calls", "total [s]", "mean [us]", "min [us]",
+           "max [us]"});
+  for (const auto& s : ts) {
+    if (s.calls == 0) continue;
+    t.add_row({s.name, table::fmt(static_cast<long long>(s.calls)),
+               table::fmt(s.total_seconds),
+               table::fmt(s.mean_seconds() * 1e6),
+               table::fmt(s.min_seconds * 1e6),
+               table::fmt(s.max_seconds * 1e6)});
+  }
+  t.print(os);
+  const auto cs = counters();
+  if (!cs.empty()) {
+    table c({"counter", "value"});
+    for (const auto& s : cs)
+      c.add_row({s.name, table::fmt(static_cast<long long>(s.value))});
+    c.print(os);
+  }
+}
+
+void registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : timer_slots_) {
+    s->calls.store(0);
+    s->total_ns.store(0);
+    s->min_ns.store(~std::uint64_t(0));
+    s->max_ns.store(0);
+  }
+  for (auto& s : counter_slots_) s->value.store(0);
+}
+
+}  // namespace octo::apex

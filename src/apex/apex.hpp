@@ -1,0 +1,118 @@
+#pragma once
+/// \file apex.hpp
+/// Lightweight autonomic performance instrumentation, modeled on APEX
+/// (Huck et al., "An autonomic performance environment for exascale" —
+/// [38] in the paper; §VIII names APEX/HPX performance counters as the
+/// tool for the next round of analysis, so this reproduction ships one).
+///
+/// Design: named timers and counters are registered once and referenced by
+/// id; hot-path samples are lock-free per-thread accumulations that are
+/// folded into a global snapshot on demand.  A `scoped_timer` costs two
+/// clock reads; disabled instrumentation costs one branch.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace octo::apex {
+
+/// Identifier of a registered timer or counter.
+using metric_id = int;
+
+/// Process-wide registry + accumulator.  Thread-safe.
+class registry {
+ public:
+  static registry& instance();
+
+  /// Register (or look up) a timer by name; idempotent.
+  metric_id timer(const std::string& name);
+  /// Register (or look up) a monotonic counter by name; idempotent.
+  metric_id counter(const std::string& name);
+
+  /// Record one timed sample (seconds) against a timer.
+  void sample(metric_id id, double seconds);
+  /// Add to a counter.
+  void add(metric_id id, std::uint64_t delta = 1);
+
+  /// Master switch; when disabled, sample()/add() return immediately.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  struct timer_stats {
+    std::string name;
+    std::uint64_t calls = 0;
+    double total_seconds = 0;
+    double min_seconds = 0;
+    double max_seconds = 0;
+    double mean_seconds() const {
+      return calls ? total_seconds / static_cast<double>(calls) : 0;
+    }
+  };
+  struct counter_stats {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+
+  std::vector<timer_stats> timers() const;
+  std::vector<counter_stats> counters() const;
+
+  /// Print a profile report (timers sorted by total time).
+  void report(std::ostream& os) const;
+
+  /// Zero every accumulator (registrations survive).
+  void reset();
+
+ private:
+  registry() = default;
+
+  struct timer_slot {
+    std::string name;
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> min_ns{~std::uint64_t(0)};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+  struct counter_slot {
+    std::string name;
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  mutable std::mutex mutex_;  ///< guards registration only
+  std::vector<std::unique_ptr<timer_slot>> timer_slots_;
+  std::vector<std::unique_ptr<counter_slot>> counter_slots_;
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII timer: samples the enclosing scope's wall time.
+class scoped_timer {
+ public:
+  explicit scoped_timer(metric_id id)
+      : id_(id), start_(clock::now()) {}
+  ~scoped_timer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clock::now() - start_)
+                        .count();
+    registry::instance().sample(id_, static_cast<double>(ns) * 1e-9);
+  }
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  metric_id id_;
+  clock::time_point start_;
+};
+
+/// Convenience: time a callable and return its result.
+template <typename F>
+auto timed(metric_id id, F&& f) -> decltype(f()) {
+  scoped_timer t(id);
+  return f();
+}
+
+}  // namespace octo::apex

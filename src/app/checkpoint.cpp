@@ -1,0 +1,101 @@
+#include "app/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace octo::app {
+
+namespace {
+
+constexpr char magic[8] = {'O', 'C', 'T', 'O', 'C', 'K', 'P', 'T'};
+constexpr std::int64_t version = 1;
+constexpr int N = grid::subgrid::N;
+constexpr std::size_t cells = std::size_t(grid::NFIELD) * N * N * N;
+
+template <typename T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  OCTO_CHECK_MSG(is.good(), "truncated checkpoint");
+  return v;
+}
+
+}  // namespace
+
+std::size_t write_checkpoint(const simulation& sim, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  OCTO_CHECK_MSG(os.good(), "cannot open checkpoint file " << path);
+  os.write(magic, sizeof magic);
+  put(os, version);
+  put(os, sim.time());
+  put(os, static_cast<std::int64_t>(sim.steps_taken()));
+  put(os, sim.topo().domain_half_width());
+  put(os, static_cast<std::int64_t>(sim.topo().max_depth()));
+  put(os, static_cast<std::int64_t>(sim.topo().num_leaves()));
+  for (const index_t l : sim.topo().leaves()) {
+    put(os, sim.topo().node(l).code);
+    const auto& g = sim.leaf(l);
+    for (int f = 0; f < grid::NFIELD; ++f)
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+          for (int k = 0; k < N; ++k) put(os, g.at(f, i, j, k));
+  }
+  OCTO_CHECK_MSG(os.good(), "checkpoint write failed: " << path);
+  return static_cast<std::size_t>(os.tellp());
+}
+
+checkpoint_data read_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  OCTO_CHECK_MSG(is.good(), "cannot open checkpoint file " << path);
+  char m[8];
+  is.read(m, sizeof m);
+  OCTO_CHECK_MSG(is.good() && std::memcmp(m, magic, sizeof magic) == 0,
+                 "not an octo checkpoint: " << path);
+  const auto ver = get<std::int64_t>(is);
+  OCTO_CHECK_MSG(ver == version, "unsupported checkpoint version " << ver);
+
+  checkpoint_data data;
+  data.time = get<real>(is);
+  data.step = get<std::int64_t>(is);
+  data.domain_half = get<real>(is);
+  data.max_level = get<std::int64_t>(is);
+  const auto nleaves = get<std::int64_t>(is);
+  OCTO_CHECK(nleaves >= 0);
+  data.leaf_codes.reserve(static_cast<std::size_t>(nleaves));
+  data.fields.reserve(static_cast<std::size_t>(nleaves));
+  for (std::int64_t l = 0; l < nleaves; ++l) {
+    data.leaf_codes.push_back(get<code_t>(is));
+    std::vector<real> f(cells);
+    is.read(reinterpret_cast<char*>(f.data()),
+            static_cast<std::streamsize>(cells * sizeof(real)));
+    OCTO_CHECK_MSG(is.good(), "truncated checkpoint payload");
+    data.fields.push_back(std::move(f));
+  }
+  return data;
+}
+
+void restore_checkpoint(simulation& sim, const checkpoint_data& data) {
+  OCTO_CHECK_MSG(static_cast<index_t>(data.leaf_codes.size()) ==
+                     sim.topo().num_leaves(),
+                 "checkpoint leaf count mismatch");
+  for (std::size_t s = 0; s < data.leaf_codes.size(); ++s) {
+    const index_t node = sim.topo().find(data.leaf_codes[s]);
+    OCTO_CHECK_MSG(node != tree::invalid_node && sim.topo().node(node).leaf,
+                   "checkpoint topology mismatch at leaf " << s);
+    auto& g = sim.leaf(node);
+    std::size_t c = 0;
+    for (int f = 0; f < grid::NFIELD; ++f)
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+          for (int k = 0; k < N; ++k) g.at(f, i, j, k) = data.fields[s][c++];
+  }
+}
+
+}  // namespace octo::app

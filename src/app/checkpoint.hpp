@@ -1,0 +1,37 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Single-file binary checkpoints (our stand-in for Octo-Tiger's
+/// Silo/HDF5 output, Fig. 2's blue boxes).
+///
+/// Format (little-endian, all integers 64-bit):
+///   magic "OCTOCKPT" | version | time | step | domain_half | max_level
+///   | nleaves | per leaf: location code | NFIELD x N^3 owned cells.
+/// Ghost cells are not stored; callers re-exchange after loading.
+
+#include <string>
+
+#include "app/simulation.hpp"
+
+namespace octo::app {
+
+/// Write the current state of \p sim to \p path.  Returns bytes written.
+std::size_t write_checkpoint(const simulation& sim, const std::string& path);
+
+/// Result of reading a checkpoint back.
+struct checkpoint_data {
+  real time = 0;
+  std::int64_t step = 0;
+  real domain_half = 0;
+  std::int64_t max_level = 0;
+  std::vector<code_t> leaf_codes;
+  /// Owned cells per leaf, NFIELD x N^3, same order as leaf_codes.
+  std::vector<std::vector<real>> fields;
+};
+
+checkpoint_data read_checkpoint(const std::string& path);
+
+/// Restore sub-grid contents from checkpoint data into a simulation whose
+/// topology has the same leaf codes (throws otherwise).
+void restore_checkpoint(simulation& sim, const checkpoint_data& data);
+
+}  // namespace octo::app

@@ -1,0 +1,85 @@
+#include "app/output.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace octo::app {
+
+std::vector<slice_cell> extract_slice(const simulation& sim, int field,
+                                      int axis, real coord) {
+  OCTO_CHECK(axis >= 0 && axis < 3);
+  OCTO_CHECK(field >= 0 && field < grid::NFIELD);
+  const int a1 = (axis + 1) % 3;
+  const int a2 = (axis + 2) % 3;
+
+  std::vector<slice_cell> out;
+  for (const index_t leaf : sim.topo().leaves()) {
+    const auto& u = sim.leaf(leaf);
+    const rvec3 c = u.center();
+    const real half = real(0.5) * grid::subgrid::N * u.dx();
+    if (coord < c[axis] - half || coord >= c[axis] + half) continue;
+    // index along the slicing axis
+    const int s =
+        std::min(grid::subgrid::N - 1,
+                 static_cast<int>((coord - (c[axis] - half)) / u.dx()));
+    for (int p = 0; p < grid::subgrid::N; ++p)
+      for (int q = 0; q < grid::subgrid::N; ++q) {
+        int ijk[3];
+        ijk[axis] = s;
+        ijk[a1] = p;
+        ijk[a2] = q;
+        const rvec3 x = u.cell_center(ijk[0], ijk[1], ijk[2]);
+        out.push_back({x[a1], x[a2], u.dx(),
+                       u.at(field, ijk[0], ijk[1], ijk[2])});
+      }
+  }
+  return out;
+}
+
+std::size_t write_slice_csv(const simulation& sim, int field, int axis,
+                            real coord, const std::string& path) {
+  const auto cells = extract_slice(sim, field, axis, coord);
+  std::ofstream os(path);
+  OCTO_CHECK_MSG(os.good(), "cannot open slice output " << path);
+  os << "x,y,dx," << grid::field_names[static_cast<std::size_t>(field)]
+     << '\n';
+  for (const auto& c : cells)
+    os << c.x << ',' << c.y << ',' << c.dx << ',' << c.value << '\n';
+  OCTO_CHECK_MSG(os.good(), "slice write failed: " << path);
+  return cells.size();
+}
+
+radial_profile extract_radial_profile(const simulation& sim, int field,
+                                      real rmax, int nbins) {
+  OCTO_CHECK(nbins > 0 && rmax > 0);
+  radial_profile prof;
+  prof.r.resize(static_cast<std::size_t>(nbins));
+  prof.value.assign(static_cast<std::size_t>(nbins), 0);
+  prof.count.assign(static_cast<std::size_t>(nbins), 0);
+  std::vector<real> weight(static_cast<std::size_t>(nbins), 0);
+  const real dr = rmax / nbins;
+  for (int b = 0; b < nbins; ++b)
+    prof.r[static_cast<std::size_t>(b)] = (b + real(0.5)) * dr;
+
+  for (const index_t leaf : sim.topo().leaves()) {
+    const auto& u = sim.leaf(leaf);
+    const real vol = u.cell_volume();
+    for (int i = 0; i < grid::subgrid::N; ++i)
+      for (int j = 0; j < grid::subgrid::N; ++j)
+        for (int k = 0; k < grid::subgrid::N; ++k) {
+          const real r = norm(u.cell_center(i, j, k));
+          if (r >= rmax) continue;
+          const auto b = static_cast<std::size_t>(r / dr);
+          prof.value[b] += u.at(field, i, j, k) * vol;
+          weight[b] += vol;
+          ++prof.count[b];
+        }
+  }
+  for (std::size_t b = 0; b < prof.value.size(); ++b)
+    if (weight[b] > 0) prof.value[b] /= weight[b];
+  return prof;
+}
+
+}  // namespace octo::app

@@ -1,0 +1,42 @@
+#pragma once
+/// \file output.hpp
+/// Plain-text field extraction for visualization and analysis — the
+/// lightweight counterpart of the Silo dumps in Fig. 2's IO stack.
+
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+
+namespace octo::app {
+
+/// One sampled cell of a planar slice.
+struct slice_cell {
+  real x = 0;     ///< first in-plane coordinate
+  real y = 0;     ///< second in-plane coordinate
+  real dx = 0;    ///< cell width (AMR: varies across the slice)
+  real value = 0;
+};
+
+/// Sample field \p f on the axis-aligned plane `axis = coord` (axis: 0=x,
+/// 1=y, 2=z), taking every leaf cell whose volume intersects the plane.
+/// Cells come back ordered by Morton leaf order.
+std::vector<slice_cell> extract_slice(const simulation& sim, int field,
+                                      int axis, real coord);
+
+/// Write a slice as CSV (`x,y,dx,value` with a header row).  Returns the
+/// number of cells written.
+std::size_t write_slice_csv(const simulation& sim, int field, int axis,
+                            real coord, const std::string& path);
+
+/// Spherically averaged radial profile of a field about the origin:
+/// nbins equal-width bins out to rmax.  Empty bins report value 0.
+struct radial_profile {
+  std::vector<real> r;      ///< bin centers
+  std::vector<real> value;  ///< volume-weighted mean per bin
+  std::vector<index_t> count;
+};
+radial_profile extract_radial_profile(const simulation& sim, int field,
+                                      real rmax, int nbins);
+
+}  // namespace octo::app

@@ -1,0 +1,378 @@
+#include "app/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amt/future.hpp"
+#include "apex/apex.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace octo::app {
+
+using grid::subgrid;
+
+simulation::simulation(const scen::scenario& sc, sim_options opt,
+                       exec::amt_space space)
+    : scenario_(sc), opt_(opt), space_(space) {}
+
+void simulation::initialize() {
+  topo_ = std::make_unique<tree::topology>(scenario_.domain_half,
+                                           opt_.max_level, scenario_.refine);
+  grav_ = std::make_unique<gravity::fmm_solver>(*topo_, opt_.gravity);
+  opt_.hydro.omega = scenario_.omega;
+
+  grids_.clear();
+  grids_.reserve(static_cast<std::size_t>(topo_->num_nodes()));
+  for (index_t n = 0; n < topo_->num_nodes(); ++n)
+    grids_.emplace_back(topo_->center(n), topo_->cell_width(n));
+
+  leaf_slot_.assign(static_cast<std::size_t>(topo_->num_nodes()), -1);
+  stage0_.clear();
+  const auto& leaves = topo_->leaves();
+  stage0_.reserve(leaves.size());
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    leaf_slot_[static_cast<std::size_t>(leaves[s])] =
+        static_cast<index_t>(s);
+    stage0_.emplace_back(topo_->center(leaves[s]),
+                         topo_->cell_width(leaves[s]));
+  }
+
+  leaves_by_level_.assign(static_cast<std::size_t>(topo_->max_depth()) + 1,
+                          {});
+  for (const index_t l : leaves)
+    leaves_by_level_[static_cast<std::size_t>(topo_->node(l).level)]
+        .push_back(l);
+
+  // One-time scenario preparation (e.g. the SCF solve) runs on this
+  // thread, outside the task pool (see scenario::prepare).
+  if (scenario_.prepare) scenario_.prepare();
+
+  // Initial data (parallel over leaves; the scenario init may be costly).
+  {
+    std::vector<amt::future<void>> futs;
+    for (const index_t l : leaves)
+      futs.push_back(amt::async([this, l] { scenario_.init(grids_[l]); },
+                                space_.runtime()));
+    amt::wait_all(futs, space_.runtime());
+  }
+
+  exchange_ghosts();
+  if (opt_.self_gravity) solve_gravity();
+  dt_ = opt_.fixed_dt > 0 ? opt_.fixed_dt : compute_dt();
+  initialized_ = true;
+}
+
+grid::subgrid& simulation::leaf(index_t node) {
+  OCTO_ASSERT(topo_->node(node).leaf);
+  return grids_[node];
+}
+
+const grid::subgrid& simulation::leaf(index_t node) const {
+  OCTO_ASSERT(topo_->node(node).leaf);
+  return grids_[node];
+}
+
+namespace {
+/// APEX phase timers for the step loop (registered once; see apex/apex.hpp).
+struct phase_timers {
+  apex::metric_id exchange = apex::registry::instance().timer("app.exchange_ghosts");
+  apex::metric_id gravity = apex::registry::instance().timer("app.solve_gravity");
+  apex::metric_id hydro = apex::registry::instance().timer("app.hydro_stage");
+  apex::metric_id step = apex::registry::instance().timer("app.step");
+  apex::metric_id steps_counter = apex::registry::instance().counter("app.steps");
+};
+phase_timers& timers() {
+  static phase_timers t;
+  return t;
+}
+}  // namespace
+
+void simulation::exchange_ghosts() {
+  const apex::scoped_timer apex_t(timers().exchange);
+  auto& rt = space_.runtime();
+
+  // Phase 1: restrict into interior sub-grids, deepest level first.
+  for (int lvl = topo_->max_depth() - 1; lvl >= 0; --lvl) {
+    std::vector<amt::future<void>> futs;
+    for (const index_t n : topo_->nodes_at_level(lvl)) {
+      const auto& nd = topo_->node(n);
+      if (nd.leaf) continue;
+      futs.push_back(amt::async(
+          [this, n] {
+            const auto& nd2 = topo_->node(n);
+            for (int oct = 0; oct < NCHILD; ++oct)
+              grid::restrict_to_coarse(grids_[nd2.children[oct]], oct,
+                                       grids_[n]);
+          },
+          rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+
+  // Phase 2: same-level direct copies and physical boundaries, for every
+  // node.  Interior sub-grids are filled too: their owned cells (from the
+  // phase-1 restriction) serve as same-level ghost sources for leaves
+  // adjacent to refined regions.
+  {
+    std::vector<amt::future<void>> futs;
+    for (index_t n = 0; n < topo_->num_nodes(); ++n) {
+      futs.push_back(amt::async(
+          [this, n] {
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              const index_t nb = topo_->neighbor(n, d);
+              if (nb != tree::invalid_node) {
+                grids_[n].copy_ghost_direct(d, grids_[nb]);
+              } else {
+                const auto ncode = tree::code_neighbor(
+                    topo_->node(n).code, tree::directions()[d]);
+                if (!ncode) grids_[n].fill_ghost_outflow(d);
+                // else: coarser neighbor, handled in phase 3 (leaves).
+              }
+            }
+          },
+          rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+
+  // Phase 3: coarse-to-fine prolongation, coarsest target level first.
+  for (std::size_t lvl = 0; lvl < leaves_by_level_.size(); ++lvl) {
+    std::vector<amt::future<void>> futs;
+    for (const index_t n : leaves_by_level_[lvl]) {
+      futs.push_back(amt::async(
+          [this, n] {
+            const auto& nd = topo_->node(n);
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              if (nd.neighbors[d] != tree::invalid_node) continue;
+              const index_t host = topo_->neighbor_or_coarser(n, d);
+              if (host == tree::invalid_node) continue;  // domain boundary
+              grid::fill_ghost_from_coarse(
+                  grids_[n], tree::code_coords(nd.code), d, grids_[host],
+                  tree::code_coords(topo_->node(host).code));
+            }
+          },
+          rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+}
+
+void simulation::solve_gravity() {
+  const apex::scoped_timer apex_t(timers().gravity);
+  for (const index_t l : topo_->leaves())
+    grav_->set_leaf_from_subgrid(l, grids_[l]);
+  grav_->solve(space_);
+}
+
+real simulation::compute_dt() {
+  real vmax = 0;
+  for (const index_t l : topo_->leaves()) {
+    const real v = hydro::max_signal_speed(grids_[l], opt_.hydro);
+    const real dx = topo_->cell_width(l);
+    vmax = std::max(vmax, v / dx);
+  }
+  OCTO_CHECK_MSG(vmax > 0, "zero signal speed — uninitialized state?");
+  return opt_.cfl / vmax;
+}
+
+void simulation::hydro_stage(real dt, real ca, real cb) {
+  const apex::scoped_timer apex_t(timers().hydro);
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  for (const index_t l : topo_->leaves()) {
+    futs.push_back(amt::async(
+        [this, l, dt, ca, cb] {
+          static thread_local hydro::workspace ws;
+          static thread_local std::vector<real> dudt;
+          dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
+          subgrid& u = grids_[l];
+          hydro::flux_divergence(u, opt_.hydro, ws, dudt);
+          if (opt_.self_gravity) {
+            hydro::add_sources(u, opt_.hydro, grav_->gx(l).data(),
+                               grav_->gy(l).data(), grav_->gz(l).data(),
+                               dudt);
+          } else {
+            hydro::add_sources(u, opt_.hydro, nullptr, nullptr, nullptr,
+                               dudt);
+          }
+          hydro::apply_dudt(u, dudt, dt);
+          if (cb != 1) {
+            const subgrid& u0 = stage0_[leaf_slot_[l]];
+            hydro::stage_blend(u, u0, ca, cb);
+          }
+          hydro::apply_floors_and_sync_tau(u, opt_.hydro.gas);
+        },
+        rt));
+  }
+  amt::wait_all(futs, rt);
+}
+
+real simulation::step() {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  const apex::scoped_timer apex_t(timers().step);
+  apex::registry::instance().add(timers().steps_counter);
+  const real dt = dt_;
+
+  // Save u0 for the RK combination.
+  {
+    std::vector<amt::future<void>> futs;
+    for (const index_t l : topo_->leaves()) {
+      futs.push_back(amt::async(
+          [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+          space_.runtime()));
+    }
+    amt::wait_all(futs, space_.runtime());
+  }
+
+  // SSP-RK3 (Shu-Osher): u1 = u0 + dt L(u0)
+  //                      u2 = 3/4 u0 + 1/4 (u1 + dt L(u1))
+  //                      u  = 1/3 u0 + 2/3 (u2 + dt L(u2))
+  hydro_stage(dt, 0, 1);
+  exchange_ghosts();
+  if (opt_.self_gravity) solve_gravity();
+
+  hydro_stage(dt, real(0.75), real(0.25));
+  exchange_ghosts();
+  if (opt_.self_gravity) solve_gravity();
+
+  hydro_stage(dt, real(1) / 3, real(2) / 3);
+  exchange_ghosts();
+  if (opt_.self_gravity) solve_gravity();
+
+  time_ += dt;
+  ++steps_;
+  return dt;
+}
+
+bool simulation::regrid() {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+
+  // Snapshot old-leaf geometry and peak density.
+  struct leaf_info {
+    rvec3 center;
+    real hw;
+    real max_rho;
+    code_t code;
+  };
+  std::vector<leaf_info> old_leaves;
+  old_leaves.reserve(static_cast<std::size_t>(topo_->num_leaves()));
+  for (const index_t l : topo_->leaves()) {
+    leaf_info info;
+    info.center = topo_->center(l);
+    info.hw = topo_->node_half_width(l);
+    info.code = topo_->node(l).code;
+    info.max_rho = 0;
+    const auto& u = grids_[l];
+    for (int i = 0; i < grid::subgrid::N; ++i)
+      for (int j = 0; j < grid::subgrid::N; ++j)
+        for (int k = 0; k < grid::subgrid::N; ++k)
+          info.max_rho = std::max(info.max_rho, u.at(grid::f_rho, i, j, k));
+    old_leaves.push_back(info);
+  }
+
+  const real threshold = opt_.rho_refine;
+  const auto refine = [&old_leaves, threshold](int, const rvec3& c,
+                                               real hw) {
+    for (const auto& ol : old_leaves) {
+      if (ol.max_rho <= threshold) continue;
+      // cube-cube overlap test
+      bool overlap = true;
+      for (int a = 0; a < 3; ++a)
+        overlap = overlap && std::abs(c[a] - ol.center[a]) <= hw + ol.hw;
+      if (overlap) return true;
+    }
+    return false;
+  };
+
+  auto new_topo = std::make_unique<tree::topology>(
+      scenario_.domain_half, opt_.max_level, refine);
+
+  // Unchanged topology: nothing to do.
+  if (new_topo->num_leaves() == topo_->num_leaves()) {
+    bool same = true;
+    const auto& nl = new_topo->leaves();
+    const auto& ol = topo_->leaves();
+    for (std::size_t i = 0; i < nl.size() && same; ++i)
+      same = new_topo->node(nl[i]).code == topo_->node(ol[i]).code;
+    if (same) return false;
+  }
+
+  // Transfer state into the new tree's leaves.
+  std::vector<grid::subgrid> new_grids;
+  new_grids.reserve(static_cast<std::size_t>(new_topo->num_nodes()));
+  for (index_t n = 0; n < new_topo->num_nodes(); ++n)
+    new_grids.emplace_back(new_topo->center(n), new_topo->cell_width(n));
+
+  for (const index_t nl : new_topo->leaves()) {
+    const code_t code = new_topo->node(nl).code;
+    const index_t old_same = topo_->find(code);
+    if (old_same != tree::invalid_node) {
+      // Same region existed (leaf or interior-with-restriction): copy
+      // owned cells.  Interior sub-grids hold valid restrictions from the
+      // last ghost exchange.
+      new_grids[nl] = grids_[old_same];
+      continue;
+    }
+    // New leaf is finer than the old tree there: walk down from the old
+    // enclosing node, prolonging one octant level at a time.  Only the
+    // final grid's geometry matters (prolongation touches values, not
+    // coordinates).
+    const index_t host = topo_->find_enclosing(code);
+    OCTO_CHECK(host != tree::invalid_node);
+    const int host_level = topo_->node(host).level;
+    std::vector<int> path;  // octants, deepest first
+    for (code_t c = code; tree::code_level(c) > host_level;
+         c = tree::code_parent(c))
+      path.push_back(tree::code_octant(c));
+    grid::subgrid cur = grids_[host];
+    for (int step = static_cast<int>(path.size()) - 1; step >= 0; --step) {
+      grid::subgrid finer(new_topo->center(nl), new_topo->cell_width(nl));
+      grid::prolong_from_coarse(cur, path[static_cast<std::size_t>(step)],
+                                finer);
+      cur = std::move(finer);
+    }
+    new_grids[nl] = std::move(cur);
+  }
+
+  // Swap in the new tree and rebuild the derived structures.
+  topo_ = std::move(new_topo);
+  grids_ = std::move(new_grids);
+  grav_ = std::make_unique<gravity::fmm_solver>(*topo_, opt_.gravity);
+
+  leaf_slot_.assign(static_cast<std::size_t>(topo_->num_nodes()), -1);
+  stage0_.clear();
+  const auto& leaves = topo_->leaves();
+  stage0_.reserve(leaves.size());
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    leaf_slot_[static_cast<std::size_t>(leaves[s])] =
+        static_cast<index_t>(s);
+    stage0_.emplace_back(topo_->center(leaves[s]),
+                         topo_->cell_width(leaves[s]));
+  }
+  leaves_by_level_.assign(static_cast<std::size_t>(topo_->max_depth()) + 1,
+                          {});
+  for (const index_t l : leaves)
+    leaves_by_level_[static_cast<std::size_t>(topo_->node(l).level)]
+        .push_back(l);
+
+  exchange_ghosts();
+  if (opt_.self_gravity) solve_gravity();
+  if (opt_.fixed_dt <= 0) dt_ = compute_dt();
+  return true;
+}
+
+ledger simulation::measure() const {
+  ledger lg;
+  for (const index_t l : topo_->leaves()) {
+    const auto t = hydro::measure(grids_[l]);
+    lg.mass += t.mass;
+    lg.momentum += t.momentum;
+    lg.ang_momentum += t.ang_momentum;
+    lg.gas_energy += t.energy;
+  }
+  if (opt_.self_gravity) lg.pot_energy = grav_->potential_energy();
+  return lg;
+}
+
+}  // namespace octo::app

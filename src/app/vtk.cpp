@@ -1,0 +1,73 @@
+#include "app/vtk.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace octo::app {
+
+std::size_t write_vtk(const simulation& sim, const std::string& path,
+                      const std::vector<int>& fields) {
+  OCTO_CHECK(!fields.empty());
+  std::ofstream os(path);
+  OCTO_CHECK_MSG(os.good(), "cannot open VTK output " << path);
+
+  constexpr int N = grid::subgrid::N;
+  const index_t ncells = sim.num_cells();
+
+  os << "# vtk DataFile Version 3.0\n";
+  os << "octotiger-repro t=" << sim.time() << " step=" << sim.steps_taken()
+     << "\n";
+  os << "ASCII\nDATASET UNSTRUCTURED_GRID\n";
+
+  // 8 corner points per cell (duplicated across cells: simple and valid).
+  os << "POINTS " << ncells * 8 << " double\n";
+  for (const index_t leaf : sim.topo().leaves()) {
+    const auto& u = sim.leaf(leaf);
+    const real dx = u.dx();
+    for (int i = 0; i < N; ++i)
+      for (int j = 0; j < N; ++j)
+        for (int k = 0; k < N; ++k) {
+          const rvec3 c = u.cell_center(i, j, k);
+          const real h = dx / 2;
+          // VTK_HEXAHEDRON corner ordering
+          const real xs[2] = {c.x - h, c.x + h};
+          const real ys[2] = {c.y - h, c.y + h};
+          const real zs[2] = {c.z - h, c.z + h};
+          os << xs[0] << ' ' << ys[0] << ' ' << zs[0] << '\n'
+             << xs[1] << ' ' << ys[0] << ' ' << zs[0] << '\n'
+             << xs[1] << ' ' << ys[1] << ' ' << zs[0] << '\n'
+             << xs[0] << ' ' << ys[1] << ' ' << zs[0] << '\n'
+             << xs[0] << ' ' << ys[0] << ' ' << zs[1] << '\n'
+             << xs[1] << ' ' << ys[0] << ' ' << zs[1] << '\n'
+             << xs[1] << ' ' << ys[1] << ' ' << zs[1] << '\n'
+             << xs[0] << ' ' << ys[1] << ' ' << zs[1] << '\n';
+        }
+  }
+
+  os << "CELLS " << ncells << ' ' << ncells * 9 << '\n';
+  for (index_t c = 0; c < ncells; ++c) {
+    os << 8;
+    for (int p = 0; p < 8; ++p) os << ' ' << c * 8 + p;
+    os << '\n';
+  }
+  os << "CELL_TYPES " << ncells << '\n';
+  for (index_t c = 0; c < ncells; ++c) os << "12\n";  // VTK_HEXAHEDRON
+
+  os << "CELL_DATA " << ncells << '\n';
+  for (const int f : fields) {
+    OCTO_CHECK(f >= 0 && f < grid::NFIELD);
+    os << "SCALARS " << grid::field_names[static_cast<std::size_t>(f)]
+       << " double 1\nLOOKUP_TABLE default\n";
+    for (const index_t leaf : sim.topo().leaves()) {
+      const auto& u = sim.leaf(leaf);
+      for (int i = 0; i < N; ++i)
+        for (int j = 0; j < N; ++j)
+          for (int k = 0; k < N; ++k) os << u.at(f, i, j, k) << '\n';
+    }
+  }
+  OCTO_CHECK_MSG(os.good(), "VTK write failed: " << path);
+  return static_cast<std::size_t>(os.tellp());
+}
+
+}  // namespace octo::app

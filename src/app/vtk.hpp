@@ -1,0 +1,24 @@
+#pragma once
+/// \file vtk.hpp
+/// Legacy-VTK output of the AMR state for visualization (ParaView/VisIt) —
+/// the role Silo's visualization dumps play in Octo-Tiger's IO stack.
+///
+/// Each leaf sub-grid becomes one STRUCTURED_POINTS piece in a .vtm-style
+/// series, or (default) the whole state is written as a single
+/// UNSTRUCTURED_GRID of hexahedral cells so AMR levels coexist in one file.
+
+#include <string>
+#include <vector>
+
+#include "app/simulation.hpp"
+
+namespace octo::app {
+
+/// Write the leaves as one legacy-VTK unstructured grid of hexahedra, with
+/// the requested fields as CELL_DATA scalars.  Returns bytes written.
+/// Fields default to density and gas energy.
+std::size_t write_vtk(const simulation& sim, const std::string& path,
+                      const std::vector<int>& fields = {grid::f_rho,
+                                                        grid::f_egas});
+
+}  // namespace octo::app

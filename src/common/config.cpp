@@ -1,0 +1,100 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace octo {
+
+config config::from_args(int argc, const char* const* argv) {
+  config c;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      c.positional_.push_back(tok);
+    } else {
+      c.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+  }
+  return c;
+}
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+config config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  OCTO_CHECK_MSG(in.good(), "cannot open config file " << path);
+  config c;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    if (!key.empty()) c.set(key, val);
+  }
+  return c;
+}
+
+void config::set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+bool config::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::optional<std::string> config::find(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string config::get(const std::string& key, const std::string& dflt) const {
+  return find(key).value_or(dflt);
+}
+
+long config::get(const std::string& key, long dflt) const {
+  const auto v = find(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const long r = std::strtol(v->c_str(), &end, 10);
+  OCTO_CHECK_MSG(end && *end == '\0' && !v->empty(),
+                 "config key '" << key << "' is not an integer: " << *v);
+  return r;
+}
+
+int config::get(const std::string& key, int dflt) const {
+  return static_cast<int>(get(key, static_cast<long>(dflt)));
+}
+
+double config::get(const std::string& key, double dflt) const {
+  const auto v = find(key);
+  if (!v) return dflt;
+  char* end = nullptr;
+  const double r = std::strtod(v->c_str(), &end);
+  OCTO_CHECK_MSG(end && *end == '\0' && !v->empty(),
+                 "config key '" << key << "' is not a number: " << *v);
+  return r;
+}
+
+bool config::get(const std::string& key, bool dflt) const {
+  const auto v = find(key);
+  if (!v) return dflt;
+  if (*v == "1" || *v == "true" || *v == "on" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "off" || *v == "no") return false;
+  OCTO_CHECK_MSG(false, "config key '" << key << "' is not a boolean: " << *v);
+  return dflt;
+}
+
+}  // namespace octo

@@ -1,0 +1,48 @@
+#pragma once
+/// \file config.hpp
+/// Minimal key=value configuration store with typed accessors.
+///
+/// Used by the examples and benchmark harness to accept command-line
+/// overrides (`./quickstart level=4 steps=10`).  Keys are case-sensitive.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace octo {
+
+class config {
+ public:
+  config() = default;
+
+  /// Parse `key=value` tokens from a command line; tokens without '=' are
+  /// collected as positional arguments.
+  static config from_args(int argc, const char* const* argv);
+
+  /// Parse a file of `key = value` lines ('#' starts a comment).
+  static config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with a default for missing keys.  Throws octo::error on a
+  /// malformed value so typos fail loudly rather than silently defaulting.
+  std::string get(const std::string& key, const std::string& dflt) const;
+  long get(const std::string& key, long dflt) const;
+  int get(const std::string& key, int dflt) const;
+  double get(const std::string& key, double dflt) const;
+  bool get(const std::string& key, bool dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace octo

@@ -1,0 +1,50 @@
+#pragma once
+/// \file error.hpp
+/// Assertion and error-reporting helpers.
+///
+/// OCTO_ASSERT is active in all build types: the library is a research code
+/// whose invariants are cheap to check relative to kernel cost, and silent
+/// corruption of an AMR tree is far more expensive than the branch.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace octo {
+
+/// Exception thrown by OCTO_CHECK / OCTO_ASSERT failures.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw error(os.str());
+}
+}  // namespace detail
+
+}  // namespace octo
+
+#define OCTO_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::octo::detail::fail("OCTO_CHECK", #expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define OCTO_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::octo::detail::fail("OCTO_CHECK", #expr, __FILE__, __LINE__,       \
+                           os_.str());                                    \
+    }                                                                     \
+  } while (false)
+
+#define OCTO_ASSERT(expr) OCTO_CHECK(expr)

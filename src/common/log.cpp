@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace octo {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(log_level::info)};
+std::mutex g_mutex;
+
+const char* level_name(log_level lvl) {
+  switch (lvl) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO ";
+    case log_level::warn: return "WARN ";
+    case log_level::err: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level lvl) { g_level.store(static_cast<int>(lvl)); }
+
+log_level get_log_level() { return static_cast<log_level>(g_level.load()); }
+
+void log_write(log_level lvl, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[octo %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace octo

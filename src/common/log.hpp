@@ -1,0 +1,35 @@
+#pragma once
+/// \file log.hpp
+/// Tiny leveled logger.  Thread-safe: each message is formatted into a local
+/// buffer and written with a single mutex-guarded call.
+
+#include <sstream>
+#include <string>
+
+namespace octo {
+
+enum class log_level { debug = 0, info = 1, warn = 2, err = 3 };
+
+/// Global threshold; messages below it are discarded.  Defaults to info.
+void set_log_level(log_level lvl);
+log_level get_log_level();
+
+/// Write one formatted message (used by the OCTO_LOG macro).
+void log_write(log_level lvl, const std::string& msg);
+
+}  // namespace octo
+
+#define OCTO_LOG(lvl, expr)                                      \
+  do {                                                           \
+    if (static_cast<int>(lvl) >=                                 \
+        static_cast<int>(::octo::get_log_level())) {             \
+      std::ostringstream os_;                                    \
+      os_ << expr;                                               \
+      ::octo::log_write(lvl, os_.str());                         \
+    }                                                            \
+  } while (false)
+
+#define OCTO_LOG_INFO(expr) OCTO_LOG(::octo::log_level::info, expr)
+#define OCTO_LOG_WARN(expr) OCTO_LOG(::octo::log_level::warn, expr)
+#define OCTO_LOG_DEBUG(expr) OCTO_LOG(::octo::log_level::debug, expr)
+#define OCTO_LOG_ERROR(expr) OCTO_LOG(::octo::log_level::err, expr)

@@ -1,0 +1,50 @@
+#pragma once
+/// \file math.hpp
+/// Small integer/scalar math helpers used across modules.
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace octo {
+
+template <typename T>
+constexpr T sqr(T v) {
+  return v * v;
+}
+
+template <typename T>
+constexpr T cube(T v) {
+  return v * v * v;
+}
+
+/// Integer power with non-negative exponent.
+template <typename T>
+constexpr T ipow(T base, int exp) {
+  T r = T(1);
+  while (exp-- > 0) r *= base;
+  return r;
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T div_ceil(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round \p a up to the next multiple of \p b.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return div_ceil(a, b) * b;
+}
+
+/// true if |a-b| <= tol * max(1, |a|, |b|).
+inline bool approx_eq(real a, real b, real tol) {
+  const real scale = std::max({real(1), a < 0 ? -a : a, b < 0 ? -b : b});
+  const real diff = a > b ? a - b : b - a;
+  return diff <= tol * scale;
+}
+
+}  // namespace octo

@@ -1,0 +1,25 @@
+#pragma once
+/// \file stopwatch.hpp
+/// Thin steady-clock stopwatch for calibration micro-measurements.
+
+#include <chrono>
+
+namespace octo {
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace octo

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace octo {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OCTO_CHECK(!headers_.empty());
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  OCTO_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected "
+                            << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+std::string table::fmt(long long v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-");
+    for (std::size_t p = 0; p < width[c]; ++p) os << '-';
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace octo

@@ -1,0 +1,32 @@
+#pragma once
+/// \file table.hpp
+/// Column-aligned ASCII table printer used by the benchmark harness to emit
+/// the paper's figure/table rows in a uniform format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace octo {
+
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Append a row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with %.4g and integers with %lld.
+  static std::string fmt(double v);
+  static std::string fmt(long long v);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace octo

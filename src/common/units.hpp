@@ -1,0 +1,44 @@
+#pragma once
+/// \file units.hpp
+/// Physical constants and the code-unit system.
+///
+/// Like Octo-Tiger, the solvers run in "code units" chosen so that
+/// G = 1 and the binary's total mass and initial separation are O(1);
+/// this keeps conserved quantities well-scaled for machine-precision
+/// accounting.  CGS constants are provided for scenario setup.
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace octo::units {
+
+// --- CGS constants (for translating astrophysical inputs) -----------------
+inline constexpr real G_cgs = 6.67430e-8;        ///< gravitational constant
+inline constexpr real M_sun = 1.98892e33;        ///< solar mass [g]
+inline constexpr real R_sun = 6.957e10;          ///< solar radius [cm]
+inline constexpr real c_light = 2.99792458e10;   ///< speed of light [cm/s]
+
+// --- Code units ------------------------------------------------------------
+/// In code units G == 1 by construction.
+inline constexpr real G_code = 1.0;
+
+/// Conversion bundle: pick a mass and length scale, time follows from G=1.
+struct unit_system {
+  real mass_cgs = M_sun;     ///< grams per code mass unit
+  real length_cgs = R_sun;   ///< centimetres per code length unit
+
+  /// seconds per code time unit: t* = sqrt(L^3 / (G M)).
+  real time_cgs() const {
+    return std::sqrt(length_cgs * length_cgs * length_cgs /
+                     (G_cgs * mass_cgs));
+  }
+  /// g/cm^3 per code density unit.
+  real density_cgs() const {
+    return mass_cgs / (length_cgs * length_cgs * length_cgs);
+  }
+  /// cm/s per code velocity unit.
+  real velocity_cgs() const { return length_cgs / time_cgs(); }
+};
+
+}  // namespace octo::units

@@ -1,0 +1,70 @@
+#pragma once
+/// \file vec3.hpp
+/// Small fixed-size 3-vector used for positions, velocities and forces.
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace octo {
+
+/// 3-component vector with the arithmetic the solvers need.  Deliberately a
+/// plain aggregate-like value type: no virtuals, trivially copyable.
+template <typename T>
+struct vec3 {
+  T x{}, y{}, z{};
+
+  constexpr vec3() = default;
+  constexpr vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  constexpr explicit vec3(T s) : x(s), y(s), z(s) {}
+
+  constexpr T& operator[](int i) { return (&x)[i]; }
+  constexpr const T& operator[](int i) const { return (&x)[i]; }
+
+  constexpr vec3& operator+=(const vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr vec3& operator-=(const vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr vec3& operator/=(T s) { return *this *= (T(1) / s); }
+
+  friend constexpr vec3 operator+(vec3 a, const vec3& b) { return a += b; }
+  friend constexpr vec3 operator-(vec3 a, const vec3& b) { return a -= b; }
+  friend constexpr vec3 operator*(vec3 a, T s) { return a *= s; }
+  friend constexpr vec3 operator*(T s, vec3 a) { return a *= s; }
+  friend constexpr vec3 operator/(vec3 a, T s) { return a /= s; }
+  friend constexpr vec3 operator-(const vec3& a) {
+    return {-a.x, -a.y, -a.z};
+  }
+  friend constexpr bool operator==(const vec3& a, const vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend constexpr T dot(const vec3& a, const vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+  }
+  friend constexpr vec3 cross(const vec3& a, const vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+  }
+  friend T norm(const vec3& a) { return std::sqrt(dot(a, a)); }
+  friend constexpr T norm2(const vec3& a) { return dot(a, a); }
+
+  friend std::ostream& operator<<(std::ostream& os, const vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+using rvec3 = vec3<real>;
+using ivec3 = vec3<index_t>;
+
+}  // namespace octo

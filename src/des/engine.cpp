@@ -1,0 +1,249 @@
+#include "des/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace octo::des {
+
+std::int32_t graph::add_task(double cost, int node, unit_kind kind) {
+  OCTO_ASSERT(!sealed_);
+  task t;
+  t.cost = cost;
+  t.node = node;
+  t.kind = kind;
+  tasks.push_back(t);
+  return static_cast<std::int32_t>(tasks.size() - 1);
+}
+
+void graph::add_edge(std::int32_t pred, std::int32_t succ, double bytes) {
+  OCTO_ASSERT(!sealed_);
+  OCTO_ASSERT(pred >= 0 && succ >= 0);
+  pending_.emplace_back(pred, edge{succ, bytes});
+  ++tasks[static_cast<std::size_t>(succ)].ndeps;
+}
+
+void graph::seal() {
+  OCTO_ASSERT(!sealed_);
+  // Counting sort of edges by predecessor.
+  std::vector<std::int64_t> count(tasks.size() + 1, 0);
+  for (const auto& [pred, e] : pending_) ++count[static_cast<std::size_t>(pred) + 1];
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  edges.resize(pending_.size());
+  std::vector<std::int64_t> cursor(count.begin(), count.end() - 1);
+  for (const auto& [pred, e] : pending_)
+    edges[static_cast<std::size_t>(cursor[static_cast<std::size_t>(pred)]++)] = e;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    tasks[t].succ_begin = count[t];
+    tasks[t].succ_end = count[t + 1];
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  sealed_ = true;
+}
+
+namespace {
+
+struct event {
+  double time;
+  std::int32_t task;   ///< task that completed, or message target
+  std::uint8_t kind;   ///< 0 = task completion, 1 = message arrival
+  bool operator>(const event& o) const { return time > o.time; }
+};
+
+struct node_state {
+  int cpu_free = 0;
+  int gpu_free = 0;
+  std::deque<std::int32_t> cpu_ready;
+  std::deque<std::int32_t> gpu_ready;
+  double next_tx_free = 0;  ///< injection-bandwidth serialization
+  double cpu_busy = 0;
+  double gpu_busy = 0;
+};
+
+}  // namespace
+
+sim_result simulate(graph& g, const engine_config& cfg) {
+  if (!g.sealed()) g.seal();
+  OCTO_CHECK(cfg.num_nodes >= 1);
+  const int cores = cfg.cores_per_node > 0 ? cfg.cores_per_node
+                                           : cfg.machine.node.cpu.cores;
+  const int gpu_units =
+      cfg.use_gpus
+          ? static_cast<int>(cfg.machine.node.gpus.size()) *
+                (cfg.machine.node.gpus.empty()
+                     ? 0
+                     : cfg.machine.node.gpus.front().streams)
+          : 0;
+
+  std::vector<node_state> nodes(static_cast<std::size_t>(cfg.num_nodes));
+  for (auto& n : nodes) {
+    n.cpu_free = cores;
+    n.gpu_free = gpu_units;
+  }
+
+  std::vector<std::int32_t> deps(g.tasks.size());
+  for (std::size_t t = 0; t < g.tasks.size(); ++t) deps[t] = g.tasks[t].ndeps;
+
+  std::priority_queue<event, std::vector<event>, std::greater<event>> pq;
+  sim_result res;
+
+  const auto start_or_queue = [&](std::int32_t tid, double now) {
+    const task& t = g.tasks[static_cast<std::size_t>(tid)];
+    OCTO_ASSERT(t.node >= 0 && t.node < cfg.num_nodes);
+    node_state& ns = nodes[static_cast<std::size_t>(t.node)];
+    if (t.kind == unit_kind::cpu) {
+      if (ns.cpu_free > 0) {
+        --ns.cpu_free;
+        ns.cpu_busy += t.cost;
+        pq.push({now + t.cost, tid, 0});
+      } else {
+        ns.cpu_ready.push_back(tid);
+      }
+    } else {
+      OCTO_CHECK_MSG(gpu_units > 0,
+                     "GPU task scheduled on a configuration without GPUs");
+      if (ns.gpu_free > 0) {
+        --ns.gpu_free;
+        ns.gpu_busy += t.cost;
+        pq.push({now + t.cost, tid, 0});
+      } else {
+        ns.gpu_ready.push_back(tid);
+      }
+    }
+  };
+
+  // Seed with dependency-free tasks.
+  for (std::size_t t = 0; t < g.tasks.size(); ++t)
+    if (deps[t] == 0) start_or_queue(static_cast<std::int32_t>(t), 0);
+
+  const auto& net = cfg.machine.net;
+  std::int64_t done = 0;
+  double now = 0;
+
+  while (!pq.empty()) {
+    const event ev = pq.top();
+    pq.pop();
+    now = ev.time;
+    if (ev.kind == 1) {
+      // message arrival: satisfy one dependency of the target task
+      if (--deps[static_cast<std::size_t>(ev.task)] == 0)
+        start_or_queue(ev.task, now);
+      continue;
+    }
+
+    // task completion
+    ++done;
+    const task& t = g.tasks[static_cast<std::size_t>(ev.task)];
+    node_state& ns = nodes[static_cast<std::size_t>(t.node)];
+    // free the unit and start the next queued task of that kind
+    if (t.kind == unit_kind::cpu) {
+      ++ns.cpu_free;
+      if (!ns.cpu_ready.empty()) {
+        const auto next = ns.cpu_ready.front();
+        ns.cpu_ready.pop_front();
+        start_or_queue(next, now);
+      }
+    } else {
+      ++ns.gpu_free;
+      if (!ns.gpu_ready.empty()) {
+        const auto next = ns.gpu_ready.front();
+        ns.gpu_ready.pop_front();
+        start_or_queue(next, now);
+      }
+    }
+
+    for (std::int64_t e = t.succ_begin; e < t.succ_end; ++e) {
+      const edge& ed = g.edges[static_cast<std::size_t>(e)];
+      const task& st = g.tasks[static_cast<std::size_t>(ed.target)];
+      if (st.node == t.node || ed.bytes <= 0) {
+        if (--deps[static_cast<std::size_t>(ed.target)] == 0)
+          start_or_queue(ed.target, now);
+      } else {
+        // network message with injection-bandwidth serialization
+        const double occupancy =
+            ed.bytes / (net.bandwidth_gbs * 1e9);
+        const double depart = std::max(now, ns.next_tx_free);
+        ns.next_tx_free = depart + occupancy;
+        const double arrive = depart + occupancy +
+                              net.latency_us * 1e-6 +
+                              net.per_message_us * 1e-6;
+        ++res.messages;
+        res.bytes += ed.bytes;
+        pq.push({arrive, ed.target, 1});
+      }
+    }
+  }
+
+  OCTO_CHECK_MSG(done == static_cast<std::int64_t>(g.tasks.size()),
+                 "DES finished with " << g.tasks.size() - done
+                                      << " unexecuted tasks (cycle or "
+                                         "missing dependency)");
+
+  res.makespan = now;
+  res.tasks_executed = done;
+  for (const auto& n : nodes) {
+    res.cpu_busy += n.cpu_busy;
+    res.gpu_busy += n.gpu_busy;
+  }
+  const double cpu_capacity = static_cast<double>(cores) * cfg.num_nodes *
+                              std::max(res.makespan, 1e-30);
+  res.cpu_utilization = res.cpu_busy / cpu_capacity;
+  if (gpu_units > 0) {
+    const double gpu_capacity = static_cast<double>(gpu_units) *
+                                cfg.num_nodes *
+                                std::max(res.makespan, 1e-30);
+    res.gpu_utilization = res.gpu_busy / gpu_capacity;
+  }
+  res.avg_node_power_w = machine::node_power_watts(
+      cfg.machine.node, res.cpu_utilization,
+      cfg.use_gpus ? res.gpu_utilization : 0);
+  res.total_power_w = res.avg_node_power_w * cfg.num_nodes;
+  return res;
+}
+
+path_analysis analyze_critical_path(graph& g,
+                                    const machine::machine_spec& m) {
+  if (!g.sealed()) g.seal();
+  const double lat = m.net.latency_us * 1e-6 + m.net.per_message_us * 1e-6;
+
+  // Kahn topological order with longest-path relaxation.
+  const std::size_t n = g.tasks.size();
+  std::vector<std::int32_t> indeg(n);
+  for (std::size_t t = 0; t < n; ++t) indeg[t] = g.tasks[t].ndeps;
+  std::vector<std::int32_t> queue;
+  queue.reserve(n);
+  for (std::size_t t = 0; t < n; ++t)
+    if (indeg[t] == 0) queue.push_back(static_cast<std::int32_t>(t));
+
+  std::vector<double> dist(n, 0), dist_lat(n, 0);
+  path_analysis out;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const auto t = static_cast<std::size_t>(queue[head++]);
+    const task& tk = g.tasks[t];
+    const double done = dist[t] + tk.cost;
+    const double done_lat = dist_lat[t] + tk.cost;
+    out.critical_path_seconds = std::max(out.critical_path_seconds, done);
+    out.with_latency_seconds = std::max(out.with_latency_seconds, done_lat);
+    out.total_work_seconds += tk.cost;
+    for (std::int64_t e = tk.succ_begin; e < tk.succ_end; ++e) {
+      const edge& ed = g.edges[static_cast<std::size_t>(e)];
+      const auto s = static_cast<std::size_t>(ed.target);
+      const bool remote =
+          g.tasks[s].node != tk.node && ed.bytes > 0;
+      const double hop = remote
+                             ? lat + ed.bytes / (m.net.bandwidth_gbs * 1e9)
+                             : 0.0;
+      dist[s] = std::max(dist[s], done);
+      dist_lat[s] = std::max(dist_lat[s], done_lat + hop);
+      if (--indeg[s] == 0) queue.push_back(ed.target);
+    }
+  }
+  OCTO_CHECK_MSG(queue.size() == n, "cycle in task graph");
+  return out;
+}
+
+}  // namespace octo::des

@@ -1,0 +1,102 @@
+#pragma once
+/// \file engine.hpp
+/// Discrete-event simulator of a task-based run on a cluster.
+///
+/// The engine executes a static task DAG on `num_nodes` nodes, each with a
+/// fixed number of CPU execution units (cores) and GPU units (gpus x
+/// streams).  Cross-node dependency edges become messages subject to the
+/// interconnect model: per-node injection-bandwidth serialization, one-way
+/// latency and per-message overhead.  Scheduling is greedy FIFO per
+/// (node, unit kind) — a reasonable stand-in for a saturated work-stealing
+/// scheduler; starvation appears when a node simply has no ready tasks,
+/// which is exactly the effect the paper's §VII-C targets.
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/spec.hpp"
+
+namespace octo::des {
+
+enum class unit_kind : std::uint8_t { cpu = 0, gpu = 1 };
+
+struct task {
+  double cost = 0;               ///< seconds on one execution unit
+  std::int32_t node = 0;         ///< cluster node that runs it
+  unit_kind kind = unit_kind::cpu;
+  std::int32_t ndeps = 0;        ///< incoming edge count
+  std::int64_t succ_begin = 0;   ///< range into graph::edges
+  std::int64_t succ_end = 0;
+};
+
+struct edge {
+  std::int32_t target = 0;  ///< successor task id
+  double bytes = 0;         ///< payload if the edge crosses nodes (else 0)
+};
+
+struct graph {
+  std::vector<task> tasks;
+  std::vector<edge> edges;
+
+  /// Append a task; returns its id.  Fill succ ranges via add_edges.
+  std::int32_t add_task(double cost, int node,
+                        unit_kind kind = unit_kind::cpu);
+
+  /// Record a dependency pred -> succ (bytes > 0 for cross-node payload).
+  /// Edges must be added after all tasks exist; they are buffered and
+  /// finalized by seal().
+  void add_edge(std::int32_t pred, std::int32_t succ, double bytes = 0);
+
+  /// Sort buffered edges into the flat arrays; call once before simulate.
+  void seal();
+
+  bool sealed() const { return sealed_; }
+
+ private:
+  friend struct engine;
+  std::vector<std::pair<std::int32_t, edge>> pending_;
+  bool sealed_ = false;
+};
+
+struct engine_config {
+  machine::machine_spec machine;
+  int num_nodes = 1;
+  /// Override CPU cores per node (Fig. 3's node-level core sweep); 0 = use
+  /// the machine spec.
+  int cores_per_node = 0;
+  /// Count GPU units (gpus x streams); false simulates CPU-only runs on a
+  /// GPU machine (Fig. 5's "Perlmutter without GPUs").
+  bool use_gpus = true;
+};
+
+struct sim_result {
+  double makespan = 0;           ///< seconds for the whole graph
+  double cpu_busy = 0;           ///< total core-busy seconds
+  double gpu_busy = 0;
+  double cpu_utilization = 0;    ///< cpu_busy / (units * makespan)
+  double gpu_utilization = 0;
+  std::uint64_t messages = 0;
+  double bytes = 0;
+  double avg_node_power_w = 0;   ///< power model applied to utilization
+  double total_power_w = 0;
+  std::int64_t tasks_executed = 0;
+};
+
+/// Run the DAG to completion.  Throws if the graph has a cycle or
+/// unreachable tasks (deps never satisfied).
+sim_result simulate(graph& g, const engine_config& cfg);
+
+/// Static analysis of the DAG (no scheduling): longest cost-weighted path
+/// through the graph, optionally charging one network latency per
+/// cross-node edge.  With infinite cores the makespan equals exactly this
+/// bound; with finite cores it is a lower bound, and the gap between the
+/// two is the headroom kernel splitting (Fig. 9) can recover.
+struct path_analysis {
+  double critical_path_seconds = 0;  ///< pure task costs along the path
+  double with_latency_seconds = 0;   ///< + latency per cross-node hop
+  double total_work_seconds = 0;     ///< sum of every task cost
+};
+path_analysis analyze_critical_path(graph& g,
+                                    const machine::machine_spec& m);
+
+}  // namespace octo::des

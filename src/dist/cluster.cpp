@@ -1,0 +1,303 @@
+#include "dist/cluster.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "amt/future.hpp"
+#include "common/error.hpp"
+#include "dist/serialize.hpp"
+
+namespace octo::dist {
+
+using grid::subgrid;
+
+cluster::cluster(const scen::scenario& sc, dist_options opt,
+                 exec::amt_space space)
+    : scenario_(sc), opt_(opt), space_(space) {
+  OCTO_CHECK(opt_.num_localities >= 1);
+}
+
+void cluster::initialize() {
+  topo_ = std::make_unique<tree::topology>(
+      scenario_.domain_half, opt_.sim.max_level, scenario_.refine);
+  part_ = tree::partition_sfc(*topo_, opt_.num_localities);
+  grav_ = std::make_unique<gravity::fmm_solver>(*topo_, opt_.sim.gravity);
+  opt_.sim.hydro.omega = scenario_.omega;
+
+  grids_.clear();
+  grids_.reserve(static_cast<std::size_t>(topo_->num_nodes()));
+  for (index_t n = 0; n < topo_->num_nodes(); ++n)
+    grids_.emplace_back(topo_->center(n), topo_->cell_width(n));
+
+  const auto& leaves = topo_->leaves();
+  leaf_slot_.assign(static_cast<std::size_t>(topo_->num_nodes()), -1);
+  stage0_.clear();
+  stage0_.reserve(leaves.size());
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    leaf_slot_[static_cast<std::size_t>(leaves[s])] =
+        static_cast<index_t>(s);
+    stage0_.emplace_back(topo_->center(leaves[s]),
+                         topo_->cell_width(leaves[s]));
+  }
+
+  leaves_by_level_.assign(static_cast<std::size_t>(topo_->max_depth()) + 1,
+                          {});
+  for (const index_t l : leaves)
+    leaves_by_level_[static_cast<std::size_t>(topo_->node(l).level)]
+        .push_back(l);
+
+  channels_.clear();
+  channels_.reserve(leaves.size() * NNEIGHBOR);
+  for (std::size_t i = 0; i < leaves.size() * NNEIGHBOR; ++i)
+    channels_.push_back(std::make_unique<amt::channel<boundary_msg>>());
+
+  if (scenario_.prepare) scenario_.prepare();
+  {
+    std::vector<amt::future<void>> futs;
+    for (const index_t l : leaves)
+      futs.push_back(amt::async([this, l] { scenario_.init(grids_[l]); },
+                                space_.runtime()));
+    amt::wait_all(futs, space_.runtime());
+  }
+
+  exchange_ghosts();
+  if (opt_.sim.self_gravity) solve_gravity();
+  dt_ = opt_.sim.fixed_dt > 0 ? opt_.sim.fixed_dt : compute_dt();
+  initialized_ = true;
+}
+
+grid::subgrid& cluster::leaf(index_t node) {
+  OCTO_ASSERT(topo_->node(node).leaf);
+  return grids_[node];
+}
+
+void cluster::exchange_ghosts() {
+  auto& rt = space_.runtime();
+
+  // Phase 1: restriction into interior sub-grids (barrier per level).
+  for (int lvl = topo_->max_depth() - 1; lvl >= 0; --lvl) {
+    std::vector<amt::future<void>> futs;
+    for (const index_t n : topo_->nodes_at_level(lvl)) {
+      if (topo_->node(n).leaf) continue;
+      futs.push_back(amt::async(
+          [this, n] {
+            const auto& nd = topo_->node(n);
+            for (int oct = 0; oct < NCHILD; ++oct)
+              grid::restrict_to_coarse(grids_[nd.children[oct]], oct,
+                                       grids_[n]);
+          },
+          rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+
+  // Phase 2a: interior same-level copies + physical boundaries (barrier).
+  {
+    std::vector<amt::future<void>> futs;
+    for (index_t n = 0; n < topo_->num_nodes(); ++n) {
+      futs.push_back(amt::async(
+          [this, n] {
+            const bool is_leaf = topo_->node(n).leaf;
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              const index_t nb = topo_->neighbor(n, d);
+              if (nb != tree::invalid_node) {
+                // Leaf-to-leaf pairs go through the channels below.
+                if (!(is_leaf && topo_->node(nb).leaf))
+                  grids_[n].copy_ghost_direct(d, grids_[nb]);
+              } else {
+                const auto ncode = tree::code_neighbor(
+                    topo_->node(n).code, tree::directions()[d]);
+                if (!ncode) grids_[n].fill_ghost_outflow(d);
+              }
+            }
+          },
+          rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+
+  // Phase 2b: leaf-to-leaf exchange through channels (barrier-free).
+  {
+    std::atomic<std::uint64_t> ld{0}, ls{0}, rm{0}, by{0};
+    // Senders: one task per owned leaf.
+    std::vector<amt::future<void>> send_futs;
+    for (const index_t l : topo_->leaves()) {
+      send_futs.push_back(amt::async(
+          [this, l, &ld, &ls, &rm, &by] {
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              const index_t nb = topo_->neighbor(l, d);
+              if (nb == tree::invalid_node || !topo_->node(nb).leaf)
+                continue;
+              // The receiver nb sees us in the opposite direction.
+              const int rd = tree::dir_opposite(d);
+              auto& ch = *channels_[static_cast<std::size_t>(
+                  leaf_slot_[nb] * NNEIGHBOR + rd)];
+              const bool same_loc = owner(l) == owner(nb);
+              if (same_loc && opt_.local_optimization) {
+                boundary_msg msg;
+                msg.direct = true;
+                msg.src = &grids_[l];
+                ch.send(std::move(msg));
+                ld.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                std::vector<real> slab;
+                grids_[l].pack_for_neighbor(d, slab);
+                oarchive ar;
+                ar.put(static_cast<std::int32_t>(rd));
+                ar.put_vector(slab);
+                boundary_msg msg;
+                msg.bytes = ar.take();
+                by.fetch_add(msg.bytes.size(), std::memory_order_relaxed);
+                if (same_loc)
+                  ls.fetch_add(1, std::memory_order_relaxed);
+                else
+                  rm.fetch_add(1, std::memory_order_relaxed);
+                ch.send(std::move(msg));
+              }
+            }
+          },
+          rt));
+    }
+
+    // Receivers: unpack continuations chained on the channel futures.
+    std::vector<amt::future<void>> recv_futs;
+    for (const index_t l : topo_->leaves()) {
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(l, d);
+        if (nb == tree::invalid_node || !topo_->node(nb).leaf) continue;
+        auto& ch = *channels_[static_cast<std::size_t>(
+            leaf_slot_[l] * NNEIGHBOR + d)];
+        recv_futs.push_back(ch.receive().then(
+            [this, l, d](boundary_msg msg) {
+              if (msg.direct) {
+                grids_[l].copy_ghost_direct(d, *msg.src);
+              } else {
+                iarchive ar(std::move(msg.bytes));
+                const auto rd = ar.get<std::int32_t>();
+                OCTO_CHECK(rd == d);
+                const auto slab = ar.get_vector<real>();
+                grids_[l].unpack_from_neighbor(
+                    d, slab.data(), static_cast<index_t>(slab.size()));
+              }
+            },
+            rt));
+      }
+    }
+    amt::wait_all(send_futs, rt);
+    amt::wait_all(recv_futs, rt);
+    stats_.local_direct += ld.load();
+    stats_.local_serialized += ls.load();
+    stats_.remote_messages += rm.load();
+    stats_.bytes_serialized += by.load();
+  }
+
+  // Phase 3: coarse-to-fine prolongation (barrier per level).
+  for (std::size_t lvl = 0; lvl < leaves_by_level_.size(); ++lvl) {
+    std::vector<amt::future<void>> futs;
+    for (const index_t n : leaves_by_level_[lvl]) {
+      futs.push_back(amt::async(
+          [this, n] {
+            const auto& nd = topo_->node(n);
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              if (nd.neighbors[d] != tree::invalid_node) continue;
+              const index_t host = topo_->neighbor_or_coarser(n, d);
+              if (host == tree::invalid_node) continue;
+              grid::fill_ghost_from_coarse(
+                  grids_[n], tree::code_coords(nd.code), d, grids_[host],
+                  tree::code_coords(topo_->node(host).code));
+            }
+          },
+          rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+}
+
+void cluster::solve_gravity() {
+  for (const index_t l : topo_->leaves())
+    grav_->set_leaf_from_subgrid(l, grids_[l]);
+  grav_->solve(space_);
+}
+
+real cluster::compute_dt() {
+  real vmax = 0;
+  for (const index_t l : topo_->leaves()) {
+    const real v = hydro::max_signal_speed(grids_[l], opt_.sim.hydro);
+    vmax = std::max(vmax, v / topo_->cell_width(l));
+  }
+  OCTO_CHECK(vmax > 0);
+  return opt_.sim.cfl / vmax;
+}
+
+void cluster::hydro_stage(real dt, real ca, real cb) {
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  for (const index_t l : topo_->leaves()) {
+    futs.push_back(amt::async(
+        [this, l, dt, ca, cb] {
+          static thread_local hydro::workspace ws;
+          static thread_local std::vector<real> dudt;
+          dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
+          subgrid& u = grids_[l];
+          hydro::flux_divergence(u, opt_.sim.hydro, ws, dudt);
+          if (opt_.sim.self_gravity) {
+            hydro::add_sources(u, opt_.sim.hydro, grav_->gx(l).data(),
+                               grav_->gy(l).data(), grav_->gz(l).data(),
+                               dudt);
+          } else {
+            hydro::add_sources(u, opt_.sim.hydro, nullptr, nullptr, nullptr,
+                               dudt);
+          }
+          hydro::apply_dudt(u, dudt, dt);
+          if (cb != 1)
+            hydro::stage_blend(u, stage0_[leaf_slot_[l]], ca, cb);
+          hydro::apply_floors_and_sync_tau(u, opt_.sim.hydro.gas);
+        },
+        rt));
+  }
+  amt::wait_all(futs, rt);
+}
+
+real cluster::step() {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  const real dt = dt_;
+  {
+    std::vector<amt::future<void>> futs;
+    for (const index_t l : topo_->leaves())
+      futs.push_back(amt::async(
+          [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+          space_.runtime()));
+    amt::wait_all(futs, space_.runtime());
+  }
+
+  hydro_stage(dt, 0, 1);
+  exchange_ghosts();
+  if (opt_.sim.self_gravity) solve_gravity();
+
+  hydro_stage(dt, real(0.75), real(0.25));
+  exchange_ghosts();
+  if (opt_.sim.self_gravity) solve_gravity();
+
+  hydro_stage(dt, real(1) / 3, real(2) / 3);
+  exchange_ghosts();
+  if (opt_.sim.self_gravity) solve_gravity();
+
+  time_ += dt;
+  ++steps_;
+  return dt;
+}
+
+app::ledger cluster::measure() const {
+  app::ledger lg;
+  for (const index_t l : topo_->leaves()) {
+    const auto t = hydro::measure(grids_[l]);
+    lg.mass += t.mass;
+    lg.momentum += t.momentum;
+    lg.ang_momentum += t.ang_momentum;
+    lg.gas_energy += t.energy;
+  }
+  if (opt_.sim.self_gravity) lg.pot_energy = grav_->potential_energy();
+  return lg;
+}
+
+}  // namespace octo::dist

@@ -1,0 +1,74 @@
+#pragma once
+/// \file serialize.hpp
+/// Byte-buffer archive for boundary messages and other wire payloads.
+/// Models the serialization step of an HPX action invocation — the cost the
+/// paper's §VII-B optimization removes for same-locality neighbors.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace octo::dist {
+
+class oarchive {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof v);
+    std::memcpy(buf_.data() + old, &v, sizeof v);
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto old = buf_.size();
+    buf_.resize(old + v.size() * sizeof(T));
+    std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class iarchive {
+ public:
+  explicit iarchive(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    OCTO_CHECK_MSG(pos_ + sizeof(T) <= buf_.size(), "archive underrun");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    OCTO_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(), "archive underrun");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace octo::dist

@@ -1,0 +1,169 @@
+#pragma once
+/// \file parallel.hpp
+/// parallel_for / parallel_reduce over execution spaces, plus the
+/// future-returning asynchronous variants (the HPX-Kokkos equivalent:
+/// "get HPX futures for any asynchronous launch of the Kokkos kernel").
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "amt/future.hpp"
+#include "exec/execution_space.hpp"
+#include "exec/policy.hpp"
+
+namespace octo::exec {
+
+// ---------------------------------------------------------------------------
+// serial_space
+// ---------------------------------------------------------------------------
+
+template <typename F>
+void parallel_for(const serial_space&, range_policy p, F&& f) {
+  for (index_t i = p.begin; i < p.end; ++i) f(i);
+}
+
+template <typename F>
+void parallel_for(const serial_space&, mdrange_policy p, F&& f) {
+  for (index_t i = p.begin[0]; i < p.end[0]; ++i)
+    for (index_t j = p.begin[1]; j < p.end[1]; ++j)
+      for (index_t k = p.begin[2]; k < p.end[2]; ++k) f(i, j, k);
+}
+
+/// Reduction functor signature: f(i, acc&).  \p combine merges partials.
+template <typename T, typename F, typename Combine>
+T parallel_reduce(const serial_space&, range_policy p, T init, F&& f,
+                  Combine&&) {
+  T acc = init;
+  for (index_t i = p.begin; i < p.end; ++i) f(i, acc);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// amt_space
+// ---------------------------------------------------------------------------
+
+/// Asynchronous parallel_for: returns a future that becomes ready when all
+/// chunks have executed.  chunks == 1 still posts one task (asynchronous
+/// semantics); use the synchronous overload for the run-inline fast path.
+template <typename F>
+amt::future<void> async_for(const amt_space& space, range_policy p, F f) {
+  auto& rt = space.runtime();
+  const index_t n = p.size();
+  const int chunks =
+      static_cast<int>(std::min<index_t>(space.params().chunks,
+                                         std::max<index_t>(n, 1)));
+  if (chunks <= 1) {
+    return amt::async([p, f = std::move(f)] {
+      for (index_t i = p.begin; i < p.end; ++i) f(i);
+    }, rt);
+  }
+  struct join {
+    std::atomic<int> remaining;
+    amt::promise<void> done;
+    explicit join(int n_) : remaining(n_) {}
+  };
+  auto js = std::make_shared<join>(chunks);
+  auto fut = js->done.get_future();
+  auto fp = std::make_shared<F>(std::move(f));
+  for (int c = 0; c < chunks; ++c) {
+    const index_t b = p.begin + chunk_begin(n, chunks, c);
+    const index_t e = p.begin + chunk_begin(n, chunks, c + 1);
+    rt.post([js, fp, b, e] {
+      for (index_t i = b; i < e; ++i) (*fp)(i);
+      if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        js->done.set_value();
+    });
+  }
+  return fut;
+}
+
+/// Synchronous parallel_for on the AMT space.  With chunks == 1 the kernel
+/// body runs inline on the calling task — the Octo-Tiger default, which
+/// benefits from a hot cache (§VII-C).  With chunks > 1 the launch is split
+/// and the call helps the scheduler until all chunks finish.
+template <typename F>
+void parallel_for(const amt_space& space, range_policy p, F&& f) {
+  if (space.params().chunks <= 1) {
+    for (index_t i = p.begin; i < p.end; ++i) f(i);
+    return;
+  }
+  async_for(space, p, std::forward<F>(f)).get(space.runtime());
+}
+
+template <typename F>
+void parallel_for(const amt_space& space, mdrange_policy p, F&& f) {
+  parallel_for(space, p.flat(), [&p, &f](index_t flat) {
+    const auto ijk = p.unflatten(flat);
+    f(ijk[0], ijk[1], ijk[2]);
+  });
+}
+
+/// Asynchronous reduction: each chunk reduces into a private accumulator
+/// seeded with \p identity; partials are combined in chunk order (so the
+/// result is deterministic for a fixed chunk count).
+template <typename T, typename F, typename Combine>
+amt::future<T> async_reduce(const amt_space& space, range_policy p, T identity,
+                            F f, Combine combine) {
+  auto& rt = space.runtime();
+  const index_t n = p.size();
+  const int chunks =
+      static_cast<int>(std::min<index_t>(space.params().chunks,
+                                         std::max<index_t>(n, 1)));
+  struct state {
+    std::vector<T> partials;
+    std::atomic<int> remaining;
+    amt::promise<T> done;
+    state(int n_, T id) : partials(n_, id), remaining(n_) {}
+  };
+  auto st = std::make_shared<state>(chunks, identity);
+  auto fut = st->done.get_future();
+  auto fp = std::make_shared<F>(std::move(f));
+  auto cb = std::make_shared<Combine>(std::move(combine));
+  for (int c = 0; c < chunks; ++c) {
+    const index_t b = p.begin + chunk_begin(n, chunks, c);
+    const index_t e = p.begin + chunk_begin(n, chunks, c + 1);
+    rt.post([st, fp, cb, b, e, c] {
+      T acc = st->partials[c];
+      for (index_t i = b; i < e; ++i) (*fp)(i, acc);
+      st->partials[c] = acc;
+      if (st->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        T total = st->partials[0];
+        for (std::size_t k = 1; k < st->partials.size(); ++k)
+          total = (*cb)(total, st->partials[k]);
+        st->done.set_value(std::move(total));
+      }
+    });
+  }
+  return fut;
+}
+
+template <typename T, typename F, typename Combine>
+T parallel_reduce(const amt_space& space, range_policy p, T identity, F&& f,
+                  Combine&& combine) {
+  if (space.params().chunks <= 1) {
+    T acc = identity;
+    for (index_t i = p.begin; i < p.end; ++i) f(i, acc);
+    return acc;
+  }
+  return async_reduce(space, p, std::move(identity), std::forward<F>(f),
+                      std::forward<Combine>(combine))
+      .get(space.runtime());
+}
+
+/// Common combiners.
+struct plus_op {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a + b; }
+};
+struct min_op {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a < b ? a : b; }
+};
+struct max_op {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a > b ? a : b; }
+};
+
+}  // namespace octo::exec

@@ -1,0 +1,65 @@
+#pragma once
+/// \file policy.hpp
+/// Iteration policies for the execution layer (Kokkos RangePolicy /
+/// MDRangePolicy equivalents).
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace octo::exec {
+
+/// Half-open 1-D iteration range [begin, end).
+struct range_policy {
+  index_t begin = 0;
+  index_t end = 0;
+
+  range_policy() = default;
+  range_policy(index_t b, index_t e) : begin(b), end(e) {
+    OCTO_ASSERT(e >= b);
+  }
+  explicit range_policy(index_t n) : range_policy(0, n) {}
+
+  index_t size() const { return end - begin; }
+};
+
+/// Half-open 3-D iteration range; iterates k fastest (row-major, matching
+/// the sub-grid memory layout).
+struct mdrange_policy {
+  std::array<index_t, 3> begin{};
+  std::array<index_t, 3> end{};
+
+  mdrange_policy() = default;
+  mdrange_policy(std::array<index_t, 3> b, std::array<index_t, 3> e)
+      : begin(b), end(e) {
+    for (int d = 0; d < 3; ++d) OCTO_ASSERT(end[d] >= begin[d]);
+  }
+  explicit mdrange_policy(std::array<index_t, 3> e)
+      : mdrange_policy({0, 0, 0}, e) {}
+
+  index_t size() const {
+    return (end[0] - begin[0]) * (end[1] - begin[1]) * (end[2] - begin[2]);
+  }
+
+  /// Flatten to a linear index space (for chunked execution).
+  range_policy flat() const { return range_policy(0, size()); }
+
+  /// Map a flat index back to (i, j, k).
+  std::array<index_t, 3> unflatten(index_t flat_idx) const {
+    const index_t nz = end[2] - begin[2];
+    const index_t ny = end[1] - begin[1];
+    const index_t k = flat_idx % nz;
+    const index_t j = (flat_idx / nz) % ny;
+    const index_t i = flat_idx / (nz * ny);
+    return {begin[0] + i, begin[1] + j, begin[2] + k};
+  }
+};
+
+/// Split [0, n) into `chunks` nearly equal sub-ranges; chunk c is
+/// [chunk_begin(n, chunks, c), chunk_begin(n, chunks, c+1)).
+inline index_t chunk_begin(index_t n, int chunks, int c) {
+  return n * c / chunks;
+}
+
+}  // namespace octo::exec

@@ -1,0 +1,78 @@
+#pragma once
+/// \file view.hpp
+/// Owning multi-dimensional host array (a minimal Kokkos::View).
+/// Layout is row-major ("LayoutRight"): the last index is contiguous, which
+/// is what the SIMD-ized kernels vectorize over.
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace octo::exec {
+
+template <typename T>
+class host_view {
+ public:
+  host_view() = default;
+
+  host_view(std::string label, std::vector<index_t> extents)
+      : label_(std::move(label)), extents_(std::move(extents)) {
+    OCTO_ASSERT(!extents_.empty());
+    strides_.resize(extents_.size());
+    index_t stride = 1;
+    for (int d = static_cast<int>(extents_.size()) - 1; d >= 0; --d) {
+      OCTO_ASSERT(extents_[d] >= 0);
+      strides_[d] = stride;
+      stride *= extents_[d];
+    }
+    data_.assign(static_cast<std::size_t>(stride), T{});
+  }
+
+  host_view(std::string label, index_t n0)
+      : host_view(std::move(label), std::vector<index_t>{n0}) {}
+  host_view(std::string label, index_t n0, index_t n1)
+      : host_view(std::move(label), std::vector<index_t>{n0, n1}) {}
+  host_view(std::string label, index_t n0, index_t n1, index_t n2)
+      : host_view(std::move(label), std::vector<index_t>{n0, n1, n2}) {}
+
+  const std::string& label() const { return label_; }
+  int rank() const { return static_cast<int>(extents_.size()); }
+  index_t extent(int d) const { return extents_[d]; }
+  index_t size() const { return static_cast<index_t>(data_.size()); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(index_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator()(index_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  T& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i * strides_[0] + j)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i * strides_[0] + j)];
+  }
+  T& operator()(index_t i, index_t j, index_t k) {
+    return data_[static_cast<std::size_t>(i * strides_[0] + j * strides_[1] +
+                                          k)];
+  }
+  const T& operator()(index_t i, index_t j, index_t k) const {
+    return data_[static_cast<std::size_t>(i * strides_[0] + j * strides_[1] +
+                                          k)];
+  }
+
+  void fill(const T& v) { data_.assign(data_.size(), v); }
+
+ private:
+  std::string label_;
+  std::vector<index_t> extents_;
+  std::vector<index_t> strides_;
+  std::vector<T> data_;
+};
+
+}  // namespace octo::exec

@@ -1,0 +1,171 @@
+#pragma once
+/// \file solver.hpp
+/// Fast-multipole gravity solver on the sub-grid octree (Octo-Tiger's FMM).
+///
+/// The solve follows the paper's three phases (§VII-C):
+///   1. bottom-up tree traversal: P2M at leaves, M2M upward;
+///   2. same-level cell-to-cell interactions on every tree level — the
+///      "Multipole kernel", a 316-offset stencil over each node's 8^3 cells
+///      and its 26 same-level neighbors (plus monopole near field on
+///      leaves);
+///   3. top-down traversal: L2L shifts of the local expansions to children,
+///      and evaluation phi = L0, g = -L1 at leaf cells.
+///
+/// Refinement boundaries (2:1-balanced): a fine leaf interacts its cells
+/// directly and *mutually* with the adjacent coarser leaf's cells (pure
+/// monopole pairs, exact), restricted to pairs not already covered by the
+/// coarser level's stencil.  Every pair is therefore accounted for exactly
+/// once, and the pairwise evaluation conserves linear momentum to machine
+/// precision.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amt/sync.hpp"
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+#include "exec/execution_space.hpp"
+#include "gravity/kernels.hpp"
+#include "grid/subgrid.hpp"
+#include "tree/topology.hpp"
+
+namespace octo::gravity {
+
+struct gravity_options {
+  real G = units::G_code;
+  /// Select the vector-ABI kernels (paper's SVE toggle, Fig. 7).
+  bool use_simd = true;
+  /// Tasks per Multipole-kernel launch (paper's Fig. 9: 1 vs 16).
+  int m2l_chunks = 1;
+};
+
+class fmm_solver {
+ public:
+  static constexpr int N = SUBGRID_N;
+  static constexpr index_t C3 = index_t(N) * N * N;      ///< cells per node
+  static constexpr index_t CP = C3 + 8;                  ///< padded stride
+
+  fmm_solver(const tree::topology& topo, gravity_options opt = {});
+
+  /// Set a leaf's mass distribution from densities (layout (i*N+j)*N+k).
+  void set_leaf_density(index_t node, std::span<const real> rho);
+
+  /// Convenience: densities from a hydro sub-grid's owned cells.
+  void set_leaf_from_subgrid(index_t node, const grid::subgrid& u);
+
+  /// Run the full FMM.  The execution space supplies the runtime; the
+  /// option's m2l_chunks controls kernel splitting.
+  void solve(const exec::amt_space& space = exec::amt_space{});
+
+  /// Potential at the leaf's cells (valid after solve; layout (i*N+j)*N+k,
+  /// padded stride CP — use cell_index()).
+  std::span<const real> phi(index_t node) const;
+
+  /// Acceleration components at the leaf's cells.
+  std::span<const real> gx(index_t node) const;
+  std::span<const real> gy(index_t node) const;
+  std::span<const real> gz(index_t node) const;
+
+  static constexpr index_t cell_index(int i, int j, int k) {
+    return (index_t(i) * N + j) * N + k;
+  }
+
+  /// Sum of m*g over all leaf cells; ~0 by momentum conservation.
+  rvec3 total_force() const;
+  /// Total torque about the origin; small but nonzero (octupole truncation).
+  rvec3 total_torque() const;
+  /// Gravitational potential energy 1/2 sum m_i phi_i.
+  real potential_energy() const;
+  /// Total mass seen by the solver.
+  real total_mass() const;
+
+  const tree::topology& topo() const { return topo_; }
+  const gravity_options& options() const { return opt_; }
+  gravity_options& options() { return opt_; }
+
+  /// Raw moment array of a node (NMOM components x CP stride) — exposed for
+  /// tests and diagnostics.
+  std::span<const real> raw_moments(index_t node) const {
+    return nodes_[node].mom;
+  }
+  /// Raw expansion array of a node (NEXP components x CP stride).
+  std::span<const real> raw_expansions(index_t node) const {
+    return nodes_[node].exp;
+  }
+
+ private:
+  struct node_data {
+    std::vector<real> mom;  ///< NMOM x CP moments
+    std::vector<real> exp;  ///< NEXP x CP expansions
+    std::vector<real> out;  ///< 4 x CP: phi, gx, gy, gz (leaves only)
+    amt::spinlock lock;     ///< guards exp during mutual scatters
+
+    node_data() = default;
+    // Movable for vector storage; the lock is never held across moves.
+    node_data(node_data&& o) noexcept
+        : mom(std::move(o.mom)), exp(std::move(o.exp)), out(std::move(o.out)) {}
+    node_data& operator=(node_data&& o) noexcept {
+      mom = std::move(o.mom);
+      exp = std::move(o.exp);
+      out = std::move(o.out);
+      return *this;
+    }
+  };
+
+  void compute_m2m(index_t node);
+  void compute_m2l(index_t node, int chunk, int nchunks);
+  void compute_m2l_root();
+  void compute_fine_coarse(index_t node);
+  void compute_l2l(index_t node);
+  void evaluate_leaf(index_t node);
+
+  template <typename P>
+  void m2l_impl(index_t node, const std::vector<real>& halo,
+                const std::vector<real>& nearmask, int row_begin,
+                int row_end);
+  template <typename P>
+  void p2p_impl(index_t node, const std::vector<real>& halo,
+                const std::vector<real>& nearmask, int row_begin,
+                int row_end);
+
+  void build_halo(index_t node, std::vector<real>& halo,
+                  std::vector<real>& nearmask) const;
+
+  const tree::topology& topo_;
+  gravity_options opt_;
+  std::vector<node_data> nodes_;
+  std::vector<std::vector<index_t>> levels_;  ///< node indices per level
+};
+
+// ---------------------------------------------------------------------------
+// Reference solver
+// ---------------------------------------------------------------------------
+
+/// Brute-force direct summation over all leaf cells (monopoles), for
+/// accuracy validation on small trees.  Outputs match fmm_solver layout.
+class direct_solver {
+ public:
+  explicit direct_solver(const tree::topology& topo, real G = units::G_code);
+
+  void set_leaf_density(index_t node, std::span<const real> rho);
+  void solve();
+
+  std::span<const real> phi(index_t node) const;
+  std::span<const real> gx(index_t node) const;
+  std::span<const real> gy(index_t node) const;
+  std::span<const real> gz(index_t node) const;
+
+ private:
+  struct cellrec {
+    rvec3 x;
+    real m;
+  };
+  const tree::topology& topo_;
+  real G_;
+  std::vector<std::vector<real>> mass_;  // per leaf slot in topo.leaves()
+  std::vector<std::vector<real>> out_;   // 4 x CP per leaf slot
+  std::vector<index_t> leaf_slot_;       // node index -> slot (or -1)
+};
+
+}  // namespace octo::gravity

@@ -1,0 +1,32 @@
+#pragma once
+/// \file field.hpp
+/// Evolved hydrodynamic state variables of a sub-grid cell.
+///
+/// Octo-Tiger evolves conserved quantities: density, momentum, gas energy,
+/// the entropy tracer tau (dual-energy formalism), and per-component tracer
+/// densities that track the original mass fractions of the binary (used for
+/// AMR refinement decisions and merger diagnostics, §IV-C).
+
+#include <array>
+#include <string_view>
+
+namespace octo::grid {
+
+enum field : int {
+  f_rho = 0,   ///< mass density
+  f_sx = 1,    ///< x momentum density
+  f_sy = 2,    ///< y momentum density
+  f_sz = 3,    ///< z momentum density
+  f_egas = 4,  ///< total gas energy density (kinetic + internal)
+  f_tau = 5,   ///< entropy tracer: (internal energy)^(1/gamma)
+  f_spc0 = 6,  ///< tracer density of binary component 0 (e.g. core)
+  f_spc1 = 7,  ///< tracer density of binary component 1 (e.g. envelope)
+};
+
+inline constexpr int NFIELD = 8;
+inline constexpr int NSPECIES = 2;
+
+inline constexpr std::array<std::string_view, NFIELD> field_names = {
+    "rho", "sx", "sy", "sz", "egas", "tau", "spc0", "spc1"};
+
+}  // namespace octo::grid

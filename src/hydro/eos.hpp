@@ -1,0 +1,46 @@
+#pragma once
+/// \file eos.hpp
+/// Ideal-gas equation of state with the dual-energy (tau) formalism.
+///
+/// Octo-Tiger evolves total gas energy `egas` for machine-precision energy
+/// conservation and, in parallel, the entropy tracer `tau = eint^(1/gamma)`.
+/// Where the kinetic energy dominates (egas - ke is a catastrophic
+/// cancellation), the internal energy is recovered from tau instead.
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace octo::hydro {
+
+struct ideal_gas {
+  real gamma = real(5) / 3;
+  /// Dual-energy switch: use tau when (egas - ke) < energy_switch * egas.
+  real energy_switch = real(1e-3);
+  /// Floors applied after every stage.
+  real rho_floor = real(1e-15);
+  real eint_floor = real(1e-20);
+
+  real pressure(real eint) const { return (gamma - 1) * eint; }
+
+  real sound_speed(real rho, real p) const {
+    return std::sqrt(gamma * p / rho);
+  }
+
+  /// Internal energy density from conserved state (dual-energy selection).
+  real internal_energy(real rho, real sx, real sy, real sz, real egas,
+                       real tau) const {
+    const real ke = real(0.5) * (sx * sx + sy * sy + sz * sz) / rho;
+    const real e1 = egas - ke;
+    if (e1 > energy_switch * egas && e1 > eint_floor) return e1;
+    const real et = std::pow(tau > 0 ? tau : real(0), gamma);
+    return et > eint_floor ? et : eint_floor;
+  }
+
+  /// tau consistent with the given internal energy.
+  real tau_from_eint(real eint) const {
+    return std::pow(eint > eint_floor ? eint : eint_floor, real(1) / gamma);
+  }
+};
+
+}  // namespace octo::hydro

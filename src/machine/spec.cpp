@@ -1,0 +1,148 @@
+#include "machine/spec.hpp"
+
+#include "common/error.hpp"
+
+namespace octo::machine {
+
+machine_spec fugaku() {
+  machine_spec m;
+  m.name = "Fugaku";
+  m.node.cpu = {.name = "A64FX",
+                .cores = 48,
+                .freq_ghz = real(1.8),   // default power-saving clock
+                .boost_ghz = real(2.2),  // boost mode, small node counts
+                .simd_lanes = 8,         // 512-bit SVE
+                .kernel_efficiency = real(0.055),
+                .simd_speedup = real(2.5)};
+  m.node.memory_gb = 28;  // usable HBM2 per node (paper §VI-B)
+  m.node.idle_watts = 65;
+  m.node.dynamic_watts = 60;
+  m.net = {.name = "Tofu-D",
+           .latency_us = real(0.9),
+           .bandwidth_gbs = real(6.8),
+           .per_message_us = real(0.6)};
+  return m;
+}
+
+machine_spec ookami() {
+  machine_spec m = fugaku();
+  m.name = "Ookami";
+  m.node.cpu.freq_ghz = real(1.8);
+  m.node.cpu.boost_ghz = 0;  // no boost mode on Ookami
+  // Post-allocation SVE tuning (§VII-D: "we optimized the SVE vectorization
+  // after the Fugaku allocation ended").
+  m.node.cpu.simd_speedup = real(2.8);
+  m.node.memory_gb = 32;
+  m.net = {.name = "InfiniBand-HDR",
+           .latency_us = real(1.3),
+           .bandwidth_gbs = real(12.5),
+           .per_message_us = real(0.8)};
+  return m;
+}
+
+machine_spec perlmutter() {
+  machine_spec m;
+  m.name = "Perlmutter";
+  m.node.cpu = {.name = "EPYC-7763",
+                .cores = 64,
+                .freq_ghz = real(2.45),
+                .boost_ghz = 0,
+                .simd_lanes = 4,  // AVX2
+                .kernel_efficiency = real(0.06),
+                .simd_speedup = real(2.2)};
+  gpu_spec a100{.name = "A100",
+                .fp64_tflops = real(9.7),
+                .kernel_efficiency = real(0.12),
+                .launch_overhead_us = 8,
+                .streams = 8,
+                .aggregation = 8};
+  m.node.gpus.assign(4, a100);
+  m.node.memory_gb = 256;
+  m.node.idle_watts = 240;
+  m.node.dynamic_watts = 280;
+  m.node.gpu_idle_watts = 50;
+  m.node.gpu_dynamic_watts = 350;
+  m.net = {.name = "Slingshot",
+           .latency_us = real(1.5),
+           .bandwidth_gbs = real(12.5),
+           .per_message_us = real(0.7)};
+  return m;
+}
+
+machine_spec summit() {
+  machine_spec m;
+  m.name = "Summit";
+  m.node.cpu = {.name = "POWER9",
+                .cores = 42,
+                .freq_ghz = real(3.1),
+                .boost_ghz = 0,
+                .simd_lanes = 2,  // VSX
+                .kernel_efficiency = real(0.07),
+                .simd_speedup = real(1.8)};
+  gpu_spec v100{.name = "V100",
+                .fp64_tflops = real(7.8),
+                .kernel_efficiency = real(0.10),
+                .launch_overhead_us = 8,
+                .streams = 8,
+                .aggregation = 8};
+  m.node.gpus.assign(6, v100);
+  m.node.memory_gb = 512;
+  m.node.idle_watts = 350;
+  m.node.dynamic_watts = 300;
+  m.node.gpu_idle_watts = 50;
+  m.node.gpu_dynamic_watts = 300;
+  m.net = {.name = "EDR-InfiniBand",
+           .latency_us = real(1.2),
+           .bandwidth_gbs = real(23),
+           .per_message_us = real(0.7)};
+  return m;
+}
+
+machine_spec piz_daint() {
+  machine_spec m;
+  m.name = "PizDaint";
+  m.node.cpu = {.name = "Xeon-E5-2690v3",
+                .cores = 12,
+                .freq_ghz = real(2.6),
+                .boost_ghz = 0,
+                .simd_lanes = 4,  // AVX2
+                .kernel_efficiency = real(0.07),
+                .simd_speedup = real(2.2)};
+  gpu_spec p100{.name = "P100",
+                .fp64_tflops = real(4.7),
+                .kernel_efficiency = real(0.10),
+                .launch_overhead_us = 10,
+                .streams = 8,
+                .aggregation = 8};
+  m.node.gpus.assign(1, p100);
+  m.node.memory_gb = 64;
+  m.node.idle_watts = 120;
+  m.node.dynamic_watts = 150;
+  m.node.gpu_idle_watts = 30;
+  m.node.gpu_dynamic_watts = 250;
+  m.net = {.name = "Aries",
+           .latency_us = real(1.3),
+           .bandwidth_gbs = real(10.2),
+           .per_message_us = real(0.7)};
+  return m;
+}
+
+machine_spec by_name(const std::string& name) {
+  if (name == "fugaku" || name == "Fugaku") return fugaku();
+  if (name == "ookami" || name == "Ookami") return ookami();
+  if (name == "perlmutter" || name == "Perlmutter") return perlmutter();
+  if (name == "summit" || name == "Summit") return summit();
+  if (name == "piz_daint" || name == "PizDaint") return piz_daint();
+  OCTO_CHECK_MSG(false, "unknown machine '" << name << '\'');
+  return {};
+}
+
+real node_power_watts(const node_spec& node, real cpu_utilization,
+                      real gpu_utilization) {
+  real p = node.idle_watts + node.dynamic_watts * cpu_utilization;
+  for (std::size_t g = 0; g < node.gpus.size(); ++g)
+    p += node.gpu_idle_watts + node.gpu_dynamic_watts * gpu_utilization;
+  return p;
+}
+
+}  // namespace octo::machine

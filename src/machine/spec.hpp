@@ -1,0 +1,138 @@
+#pragma once
+/// \file spec.hpp
+/// Hardware models of the five machines in the paper's evaluation, plus the
+/// per-kernel cost and power models that drive the discrete-event simulator.
+///
+/// Numbers come from public system documentation: A64FX (48 compute cores,
+/// 2.2 GHz boost / 1.8 GHz default on Fugaku, 512-bit SVE, 28 GiB usable
+/// HBM2), NVIDIA V100 / P100 / A100 fp64 peaks, Tofu-D and InfiniBand
+/// latency/bandwidth.  Kernel efficiencies are calibrated against our own
+/// measured kernels (bench_micro_kernels) so the absolute throughputs land
+/// in a physically plausible range; the paper-facing claims are the curve
+/// *shapes* (see DESIGN.md §4).
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace octo::machine {
+
+struct cpu_spec {
+  std::string name;
+  int cores = 1;
+  real freq_ghz = 2.0;       ///< default clock
+  real boost_ghz = 0;        ///< boost clock (0 = none; Fugaku: 2.2)
+  int simd_lanes = 4;        ///< double lanes per vector op
+  /// Fraction of per-core peak our kernels sustain with explicit SIMD.
+  real kernel_efficiency = real(0.08);
+  /// End-to-end kernel speedup of explicit SIMD over scalar (the paper
+  /// measured 2-3x for SVE on A64FX, §VII-A — memory-bound, so below the
+  /// lane count).
+  real simd_speedup = real(2.5);
+  /// Fraction of kernel time that scales with clock frequency; the rest is
+  /// memory-bound.  This is why Fugaku's boost mode gives only a marginal
+  /// gain in Fig. 3.
+  real compute_bound_fraction = real(0.35);
+
+  /// Effective GFLOP/s of one core for our kernel mix at the default clock.
+  real core_gflops(bool simd) const {
+    // peak = freq x lanes x 2 (FMA) x 2 (pipes)
+    const real peak = freq_ghz * simd_lanes * 4;
+    const real eff = peak * kernel_efficiency;
+    return simd ? eff : eff / simd_speedup;
+  }
+};
+
+struct gpu_spec {
+  std::string name;
+  real fp64_tflops = 0;
+  real kernel_efficiency = real(0.10);
+  real launch_overhead_us = 8;  ///< per aggregated kernel launch
+  int streams = 8;              ///< concurrent executor slots
+  /// Octo-Tiger aggregates several sub-grid kernels into one launch [9].
+  int aggregation = 8;
+
+  real effective_gflops() const {
+    return fp64_tflops * 1000 * kernel_efficiency;
+  }
+};
+
+struct interconnect_spec {
+  std::string name;
+  real latency_us = 1.0;       ///< one-way small-message latency
+  real bandwidth_gbs = 10.0;   ///< per-node injection bandwidth
+  real per_message_us = 0.5;   ///< NIC/software per-message overhead
+};
+
+struct node_spec {
+  cpu_spec cpu;
+  std::vector<gpu_spec> gpus;
+  real memory_gb = 32;
+  // Power model: P = idle + dynamic * utilization (+ per-GPU terms).
+  real idle_watts = 60;
+  real dynamic_watts = 60;
+  real gpu_idle_watts = 30;
+  real gpu_dynamic_watts = 250;
+};
+
+struct machine_spec {
+  std::string name;
+  node_spec node;
+  interconnect_spec net;
+  /// Serialization throughput of the boundary path (GB/s per core) — the
+  /// cost removed by the §VII-B local-communication optimization.
+  real serialize_gbs = real(2.0);
+  /// Fixed software cost of one HPX action invocation (dispatch, buffer
+  /// management), charged on both ends of a serialized slab.
+  real action_overhead_us = real(2.4);
+};
+
+// --- the paper's machines --------------------------------------------------
+machine_spec fugaku();       ///< A64FX, Tofu-D (Fujitsu MPI)
+machine_spec ookami();       ///< A64FX, InfiniBand HDR (OpenMPI)
+machine_spec perlmutter();   ///< AMD EPYC + 4x A100, Slingshot (phase 1)
+machine_spec summit();       ///< POWER9 + 6x V100, EDR InfiniBand
+machine_spec piz_daint();    ///< Xeon E5 + 1x P100, Aries
+
+machine_spec by_name(const std::string& name);
+
+// --- kernel cost model -------------------------------------------------------
+/// Work per sub-grid for each kernel class, in FLOP.  Derived from the
+/// implementation's operation counts and cross-checked by
+/// bench_micro_kernels.
+struct kernel_work {
+  real hydro_flops = real(1.6e6);        ///< flux+reconstruct, per sub-grid
+  real m2l_interior_flops = real(14e6);  ///< Multipole kernel, full targets
+  real m2l_leaf_flops = real(8e6);       ///< Multipole kernel, leaf targets
+  real p2p_flops = real(0.35e6);         ///< near-field monopole kernel
+  real m2m_flops = real(0.2e6);          ///< bottom-up shift
+  real l2l_flops = real(0.25e6);         ///< top-down shift
+  real boundary_bytes = real(1.1e5);     ///< all-26-direction ghost payload
+};
+
+/// Seconds one CPU core needs for `flops` of kernel work.  Boost mode
+/// accelerates only the compute-bound fraction.
+inline real cpu_seconds(const cpu_spec& cpu, real flops, bool boost,
+                        bool simd) {
+  const real base = flops / (cpu.core_gflops(simd) * real(1e9));
+  if (!boost || cpu.boost_ghz <= 0) return base;
+  const real cf = cpu.compute_bound_fraction;
+  return base * (cf * cpu.freq_ghz / cpu.boost_ghz + (1 - cf));
+}
+
+/// Seconds one GPU stream slot needs for `flops`, including the amortized
+/// launch overhead.  Concurrent streams share the device, so each stream
+/// sees 1/streams of the GPU's throughput (the DES then recovers the full
+/// device rate when all stream slots are busy).
+inline real gpu_seconds(const gpu_spec& gpu, real flops) {
+  return gpu.launch_overhead_us * real(1e-6) / gpu.aggregation +
+         flops * gpu.streams / (gpu.effective_gflops() * real(1e9));
+}
+
+// --- power -----------------------------------------------------------------
+/// Average power of one node given its busy fraction over a step.
+real node_power_watts(const node_spec& node, real cpu_utilization,
+                      real gpu_utilization);
+
+}  // namespace octo::machine

@@ -1,0 +1,239 @@
+#include "scenarios/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/math.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "scf/binary_scf.hpp"
+#include "scf/lane_emden.hpp"
+
+namespace octo::scen {
+
+namespace {
+
+using grid::subgrid;
+
+/// Fill one sub-grid from density/pressure/velocity samplers.
+void fill_subgrid(subgrid& u, const hydro::ideal_gas& gas,
+                  const std::function<real(const rvec3&)>& rho_f,
+                  const std::function<real(const rvec3&)>& p_f,
+                  const std::function<rvec3(const rvec3&)>& v_f,
+                  const std::function<int(const rvec3&)>& comp_f,
+                  real rho_floor) {
+  for (int i = 0; i < subgrid::N; ++i)
+    for (int j = 0; j < subgrid::N; ++j)
+      for (int k = 0; k < subgrid::N; ++k) {
+        const rvec3 x = u.cell_center(i, j, k);
+        real rho = std::max(rho_f(x), rho_floor);
+        const real p = std::max(p_f(x), (gas.gamma - 1) * gas.eint_floor);
+        const rvec3 v = v_f(x);
+        const real eint = p / (gas.gamma - 1);
+        u.at(grid::f_rho, i, j, k) = rho;
+        u.at(grid::f_sx, i, j, k) = rho * v.x;
+        u.at(grid::f_sy, i, j, k) = rho * v.y;
+        u.at(grid::f_sz, i, j, k) = rho * v.z;
+        u.at(grid::f_egas, i, j, k) =
+            eint + real(0.5) * rho * norm2(v);
+        u.at(grid::f_tau, i, j, k) = std::pow(eint, 1 / gas.gamma);
+        const int comp = comp_f(x);
+        u.at(grid::f_spc0, i, j, k) = comp == 0 ? rho : 0;
+        u.at(grid::f_spc1, i, j, k) = comp == 1 ? rho : 0;
+      }
+}
+
+/// Does the cube (center c, half-width hw) intersect the ball (bc, br)?
+bool intersects_ball(const rvec3& c, real hw, const rvec3& bc, real br) {
+  real d2 = 0;
+  for (int a = 0; a < 3; ++a) {
+    const real lo = c[a] - hw, hi = c[a] + hw;
+    const real p = std::clamp(bc[a], lo, hi);
+    d2 += sqr(p - bc[a]);
+  }
+  return d2 <= br * br;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// rotating star
+// ---------------------------------------------------------------------------
+
+scenario rotating_star() {
+  scenario s;
+  s.name = "rotating_star";
+  s.domain_half = 1;
+  s.gas.gamma = real(5) / 3;
+
+  const real R = real(0.35);
+  const real M = 1;
+  auto poly = std::make_shared<scf::polytrope>(
+      scf::make_polytrope(real(1.5), M, R));
+  // Slow rigid rotation: 20% of the surface Kepler frequency.  Evolved in
+  // the co-rotating frame the star is near equilibrium (velocity zero).
+  s.omega = real(0.2) * std::sqrt(M / (R * R * R));
+
+  // Refine every node that touches the star (with a modest atmosphere
+  // margin).  Calibrated so level-5 trees have ~4.8k sub-grids (2.5M
+  // cells), matching Fig. 6's "level 5 (2.5 million cells)".
+  const real r_refine = real(1.36) * R;
+  s.refine = [r_refine](int, const rvec3& c, real hw) {
+    return intersects_ball(c, hw, rvec3{0, 0, 0}, r_refine);
+  };
+
+  const hydro::ideal_gas gas = s.gas;
+  s.init = [poly, gas](subgrid& u) {
+    fill_subgrid(
+        u, gas, [&](const rvec3& x) { return poly->rho_at(norm(x)); },
+        [&](const rvec3& x) { return poly->pressure_at(norm(x)); },
+        [](const rvec3&) { return rvec3{0, 0, 0}; },
+        [](const rvec3&) { return 0; }, gas.rho_floor);
+  };
+
+  s.paper_subgrids = 0;  // sized by level, as in Fig. 6
+  s.note = "co-rotating n=3/2 polytrope; Figs. 3, 6-10, Table II";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// binaries (SCF-backed)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Lazily-run SCF shared by the init closures (the SCF is expensive; the
+/// topology-only users never trigger it).
+struct scf_backend {
+  explicit scf_backend(scf::binary_scf_params p) : params(p) {}
+
+  scf::binary_scf& get() {
+    std::call_once(once, [this] {
+      model = std::make_unique<scf::binary_scf>(params);
+      const auto r = model->run();
+      OCTO_LOG_INFO("SCF(" << (params.contact ? "contact" : "detached")
+                           << "): omega=" << r.omega << " m1=" << r.mass1
+                           << " m2=" << r.mass2 << " iters=" << r.iters
+                           << " virial=" << r.virial_error);
+    });
+    return *model;
+  }
+
+  scf::binary_scf_params params;
+  std::once_flag once;
+  std::unique_ptr<scf::binary_scf> model;
+};
+
+scenario make_binary_scenario(std::string name, scf::binary_scf_params bp,
+                              index_t paper_subgrids, std::string note) {
+  scenario s;
+  s.name = std::move(name);
+  s.domain_half = bp.domain_half;
+  s.gas.gamma = 1 + 1 / bp.n;  // consistent polytropic gamma (5/3 for n=3/2)
+
+  auto backend = std::make_shared<scf_backend>(bp);
+
+  // Refinement from the analytic two-ball envelope (no SCF needed).
+  const rvec3 c1{bp.xc1, 0, 0}, c2{bp.xc2, 0, 0};
+  const real m1 = real(1.4) * bp.r1, m2 = real(1.4) * bp.r2;
+  s.refine = [c1, c2, m1, m2](int, const rvec3& c, real hw) {
+    return intersects_ball(c, hw, c1, m1) || intersects_ball(c, hw, c2, m2);
+  };
+
+  const hydro::ideal_gas gas = s.gas;
+  // Orbital frequency: the SCF's omega once available (init-time).
+  s.omega = 0;  // callers should use scf omega via init side effect; see app
+  s.prepare = [backend] { backend->get(); };
+  s.init = [backend, gas](subgrid& u) {
+    auto& m = backend->get();
+    fill_subgrid(
+        u, gas, [&](const rvec3& x) { return m.rho_at(x); },
+        [&](const rvec3& x) { return m.pressure_at(x); },
+        [](const rvec3&) { return rvec3{0, 0, 0}; },
+        [&](const rvec3& x) { return m.component_at(x); }, gas.rho_floor);
+  };
+  s.paper_subgrids = paper_subgrids;
+  s.note = std::move(note);
+  return s;
+}
+
+}  // namespace
+
+scenario v1309() {
+  scf::binary_scf_params bp;
+  bp.n = real(1.5);
+  bp.contact = true;  // common envelope: the V1309 progenitor is a contact
+                      // binary (§III-A)
+  bp.xc1 = real(-0.28);
+  bp.r1 = real(0.30);
+  bp.xc2 = real(0.30);
+  bp.r2 = real(0.28);
+  bp.rho_max1 = 1;
+  bp.rho_max2 = real(0.95);
+  auto s = make_binary_scenario(
+      "v1309", bp, 17000000,
+      "contact MS binary (V1309 Sco progenitor); Fig. 4 uses 17M sub-grids");
+  return s;
+}
+
+scenario dwd() {
+  scf::binary_scf_params bp;
+  bp.n = real(1.5);
+  bp.contact = false;
+  bp.xc1 = real(-0.34);
+  bp.r1 = real(0.20);
+  bp.xc2 = real(0.38);
+  bp.r2 = real(0.17);
+  bp.rho_max1 = 1;
+  // Tuned so m2/m1 ~ 0.7, the paper's RCB-motivated mass ratio (§III-B).
+  bp.rho_max2 = real(0.78);
+  auto s = make_binary_scenario(
+      "dwd", bp, 5150720,
+      "double white dwarf, q~0.7; Fig. 5 uses level 12 = 5,150,720 "
+      "sub-grids");
+  return s;
+}
+
+scenario sedov() {
+  scenario s;
+  s.name = "sedov";
+  s.domain_half = 1;
+  s.omega = 0;
+  s.gas.gamma = real(7) / 5;  // classic Sedov gamma = 1.4
+
+  // Refine a small central region where the energy is deposited.
+  s.refine = [](int, const rvec3& c, real hw) {
+    return intersects_ball(c, hw, rvec3{0, 0, 0}, real(0.3));
+  };
+
+  const hydro::ideal_gas gas = s.gas;
+  const real rho0 = 1;
+  const real p0 = real(1e-5);
+  const real E0 = 1;             // deposited energy
+  const real r_dep = real(0.1);  // deposition radius
+  const real pi = real(3.14159265358979323846);
+  const real vol_dep = 4 * pi * r_dep * r_dep * r_dep / 3;
+  const real p_blast = (gas.gamma - 1) * E0 / vol_dep;
+  s.init = [gas, rho0, p0, p_blast, r_dep](subgrid& u) {
+    fill_subgrid(
+        u, gas, [&](const rvec3&) { return rho0; },
+        [&](const rvec3& x) { return norm(x) < r_dep ? p_blast : p0; },
+        [](const rvec3&) { return rvec3{0, 0, 0}; },
+        [](const rvec3&) { return 0; }, gas.rho_floor);
+  };
+  s.note = "Sedov-Taylor blast wave (hydro validation)";
+  return s;
+}
+
+scenario by_name(const std::string& name) {
+  if (name == "rotating_star") return rotating_star();
+  if (name == "v1309") return v1309();
+  if (name == "dwd") return dwd();
+  if (name == "sedov") return sedov();
+  OCTO_CHECK_MSG(false, "unknown scenario '" << name << '\'');
+  return {};
+}
+
+}  // namespace octo::scen

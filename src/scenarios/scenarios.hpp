@@ -1,0 +1,80 @@
+#pragma once
+/// \file scenarios.hpp
+/// The paper's three workloads, packaged for both the real solver and the
+/// discrete-event simulator:
+///
+///  * rotating star    — the test problem of Figs. 3, 6, 7, 8, 9, 10 and
+///                       Table II (levels 5/6/7 = 2.5M / 14.2M / 88.6M cells);
+///  * V1309 Scorpii    — contact main-sequence binary, Fig. 4 (17M sub-grids
+///                       in the paper's production run);
+///  * DWD q = 0.7      — double white dwarf merger progenitor, Fig. 5
+///                       (5,150,720 sub-grids at refinement level 12).
+///
+/// Every scenario provides (a) a density-based refinement predicate so a
+/// structure-only `tree::topology` of realistic shape can be built at any
+/// level, and (b) `init` to fill real sub-grids with physical initial data
+/// (polytrope or SCF-generated).  `paper_subgrids` records the paper's
+/// workload size; when a full-size tree does not fit in memory the DES
+/// scales the node axis to preserve sub-grids/node (see EXPERIMENTS.md).
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "common/vec3.hpp"
+#include "grid/subgrid.hpp"
+#include "hydro/eos.hpp"
+#include "tree/topology.hpp"
+
+namespace octo::scen {
+
+struct scenario {
+  std::string name;
+  real domain_half = 1;
+  real omega = 0;  ///< rotating-frame angular frequency
+  hydro::ideal_gas gas{};
+
+  /// Density-based refinement predicate (cheap, analytic; used for both
+  /// the solver tree and the DES structure-only trees).
+  tree::refine_predicate refine;
+
+  /// One-time expensive preparation (the binary scenarios run the SCF
+  /// here).  The simulation driver calls it once on the launching thread
+  /// BEFORE fanning out per-sub-grid init tasks: running it lazily inside
+  /// a task would re-enter its once-guard through the helping scheduler
+  /// and deadlock.  May be empty.
+  std::function<void()> prepare;
+
+  /// Fill a sub-grid's owned cells with the initial state.
+  std::function<void(grid::subgrid&)> init;
+
+  /// The paper's production workload size in sub-grids (0 if N/A).
+  index_t paper_subgrids = 0;
+  std::string note;
+
+  /// Build the AMR tree for this scenario at the given maximum level.
+  tree::topology make_topology(int max_level) const {
+    return tree::topology(domain_half, max_level, refine);
+  }
+};
+
+/// Uniformly rotating n = 3/2 polytrope centred on the origin, evolved in
+/// its co-rotating frame.
+scenario rotating_star();
+
+/// V1309 Sco progenitor: contact binary with a common envelope (SCF).
+scenario v1309();
+
+/// Double-white-dwarf binary with mass ratio ~0.7 (SCF, detached).
+scenario dwd();
+
+/// Sedov-Taylor point explosion in a uniform medium (hydro validation
+/// problem; no gravity, no rotation).  The shock radius follows
+/// R(t) ~ (E t^2 / rho)^(1/5).
+scenario sedov();
+
+/// Look up by name ("rotating_star", "v1309", "dwd", "sedov").
+scenario by_name(const std::string& name);
+
+}  // namespace octo::scen

@@ -1,0 +1,264 @@
+#include "scf/binary_scf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/math.hpp"
+#include "gravity/solver.hpp"
+#include "tree/topology.hpp"
+
+namespace octo::scf {
+
+namespace {
+constexpr int SN = SUBGRID_N;
+}
+
+/// Owns the uniform octree and FMM used for the Poisson solves.
+struct binary_scf::impl {
+  impl(real half, int level)
+      : topo(half, level,
+             [level](int lvl, const rvec3&, real) { return lvl < level; }),
+        fmm(topo) {}
+
+  tree::topology topo;
+  gravity::fmm_solver fmm;
+  std::vector<real> phi;  ///< flat n^3 potential
+};
+
+binary_scf::binary_scf(binary_scf_params p) : params_(p) {
+  OCTO_CHECK(p.level >= 1 && p.level <= 4);
+  n_ = SN << p.level;
+  dx_ = 2 * p.domain_half / n_;
+  rho_.assign(static_cast<std::size_t>(n_) * n_ * n_, 0);
+  impl_ = std::make_unique<impl>(p.domain_half, p.level);
+  impl_->phi.assign(rho_.size(), 0);
+
+  // Initial guess: two parabolic blobs at the fixed centers.
+  const auto blob = [&](const rvec3& x, real xc, real r, real rmax) {
+    const rvec3 d{x.x - xc, x.y, x.z};
+    const real q2 = norm2(d) / (r * r);
+    return q2 < 1 ? rmax * (1 - q2) : real(0);
+  };
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      for (int k = 0; k < n_; ++k) {
+        const rvec3 x{-params_.domain_half + (i + real(0.5)) * dx_,
+                      -params_.domain_half + (j + real(0.5)) * dx_,
+                      -params_.domain_half + (k + real(0.5)) * dx_};
+        rho_[(static_cast<std::size_t>(i) * n_ + j) * n_ + k] =
+            blob(x, params_.xc1, params_.r1, params_.rho_max1) +
+            blob(x, params_.xc2, params_.r2, params_.rho_max2);
+      }
+}
+
+binary_scf::~binary_scf() = default;
+
+namespace {
+
+/// Flat index helper.
+inline std::size_t fidx(int i, int j, int k, int n) {
+  return (static_cast<std::size_t>(i) * n + j) * n + k;
+}
+
+}  // namespace
+
+binary_scf_result binary_scf::run(const exec::amt_space& space) {
+  auto& topo = impl_->topo;
+  auto& fmm = impl_->fmm;
+  const real hw = params_.domain_half;
+  const real n_poly = params_.n;
+
+  const auto cell_of = [&](real x) {
+    return std::clamp(static_cast<int>((x + hw) / dx_), 0, n_ - 1);
+  };
+  // Fixed boundary points (cell centers nearest the requested positions).
+  const int jmid = n_ / 2;  // y = z ~ 0 plane index
+  const int iA = cell_of(params_.xc1 - params_.r1);   // outer edge star 1
+  const int iA2 = cell_of(params_.xc1 + params_.r1);  // inner edge star 1
+  const int iB = cell_of(params_.xc2 + params_.r2);   // outer edge star 2
+  const int ic1 = cell_of(params_.xc1);
+  const int ic2 = cell_of(params_.xc2);
+  const real x_split =
+      real(0.5) * ((params_.xc1 + params_.r1) + (params_.xc2 - params_.r2));
+
+  const auto xpos = [&](int i) { return -hw + (i + real(0.5)) * dx_; };
+
+  real omega = 0;
+  real prev_omega = -1;
+  binary_scf_result res;
+
+  for (int iter = 0; iter < params_.max_iters; ++iter) {
+    // --- 1. Poisson solve via FMM -------------------------------------
+    std::vector<real> leaf_rho(static_cast<std::size_t>(SN) * SN * SN);
+    for (const index_t leaf : topo.leaves()) {
+      const ivec3 c = tree::code_coords(topo.node(leaf).code);
+      for (int i = 0; i < SN; ++i)
+        for (int j = 0; j < SN; ++j)
+          for (int k = 0; k < SN; ++k)
+            leaf_rho[(static_cast<std::size_t>(i) * SN + j) * SN + k] =
+                rho_[fidx(static_cast<int>(c.x) * SN + i,
+                          static_cast<int>(c.y) * SN + j,
+                          static_cast<int>(c.z) * SN + k, n_)];
+      fmm.set_leaf_density(leaf, leaf_rho);
+    }
+    fmm.solve(space);
+    for (const index_t leaf : topo.leaves()) {
+      const ivec3 c = tree::code_coords(topo.node(leaf).code);
+      const auto ph = fmm.phi(leaf);
+      for (int i = 0; i < SN; ++i)
+        for (int j = 0; j < SN; ++j)
+          for (int k = 0; k < SN; ++k)
+            impl_->phi[fidx(static_cast<int>(c.x) * SN + i,
+                            static_cast<int>(c.y) * SN + j,
+                            static_cast<int>(c.z) * SN + k, n_)] =
+                ph[(static_cast<std::size_t>(i) * SN + j) * SN + k];
+    }
+
+    // --- 2/3. Omega and constants from the boundary points -------------
+    // Detached/semi-detached: Psi(A) = Psi(A') across star 1 fixes Omega,
+    // then C2 from star 2's outer edge.  Contact: there is no free inner
+    // edge, so Omega comes from equating the common constant at *both*
+    // outer edges, Psi(A) = Psi(B) (Hachisu's double-star scheme).
+    const real phiA = impl_->phi[fidx(iA, jmid, jmid, n_)];
+    const real phiA2 = impl_->phi[fidx(iA2, jmid, jmid, n_)];
+    const real phiB = impl_->phi[fidx(iB, jmid, jmid, n_)];
+    const real RA2 = sqr(xpos(iA));
+    const real RA22 = sqr(xpos(iA2));
+    const real RB2 = sqr(xpos(iB));
+    // Omega from Psi(A) = Psi(A') across star 1 (stable for every
+    // configuration since both points straddle the same lobe).
+    const real denom = RA2 - RA22;
+    OCTO_CHECK_MSG(std::abs(denom) > real(1e-12), "degenerate SCF points");
+    real omega2 = 2 * (phiA - phiA2) / denom;
+    if (omega2 < 0) omega2 = 0;  // early iterations can undershoot
+    omega = std::sqrt(omega2);
+
+    real c1 = phiA - real(0.5) * omega2 * RA2;
+    real c2 = phiB - real(0.5) * omega2 * RB2;
+    if (params_.contact) {
+      // Common envelope: flood both lobes to the *larger* of the two
+      // surface constants, which connects them through L1 and produces a
+      // shared envelope (the V1309 progenitor configuration).
+      c1 = c2 = std::max(c1, c2);
+    }
+
+    // --- 4. enthalpy -> density ----------------------------------------
+    // H_max at the (fixed) star centers sets each component's K.
+    const real psi_c1 = impl_->phi[fidx(ic1, jmid, jmid, n_)] -
+                        real(0.5) * omega2 * sqr(xpos(ic1));
+    const real psi_c2 = impl_->phi[fidx(ic2, jmid, jmid, n_)] -
+                        real(0.5) * omega2 * sqr(xpos(ic2));
+    const real hmax1 = c1 - psi_c1;
+    const real hmax2 = c2 - psi_c2;
+    OCTO_CHECK_MSG(hmax1 > 0, "SCF lost star 1 (H_max <= 0)");
+    OCTO_CHECK_MSG(hmax2 > 0, "SCF lost star 2 (H_max <= 0)");
+
+    real dmax = 0;
+    for (int i = 0; i < n_; ++i) {
+      const real x = xpos(i);
+      const bool star1 = x < x_split;
+      const real c = star1 ? c1 : c2;
+      const real hmax = star1 ? hmax1 : hmax2;
+      const real rmax = star1 ? params_.rho_max1 : params_.rho_max2;
+      for (int j = 0; j < n_; ++j)
+        for (int k = 0; k < n_; ++k) {
+          const real y = xpos(j);
+          const real psi = impl_->phi[fidx(i, j, k, n_)] -
+                           real(0.5) * omega2 * (x * x + y * y);
+          const real h = c - psi;
+          real rnew = h > 0 ? rmax * std::pow(h / hmax, n_poly) : real(0);
+          if (rnew < params_.rho_floor) rnew = 0;
+          real& rcur = rho_[fidx(i, j, k, n_)];
+          const real blended =
+              (1 - params_.relax) * rcur + params_.relax * rnew;
+          dmax = std::max(dmax, std::abs(blended - rcur));
+          rcur = blended;
+        }
+    }
+
+    res.omega = omega;
+    res.c1 = c1;
+    res.c2 = c2;
+    res.k1 = hmax1 / ((n_poly + 1) * std::pow(params_.rho_max1, 1 / n_poly));
+    res.k2 = hmax2 / ((n_poly + 1) * std::pow(params_.rho_max2, 1 / n_poly));
+    res.iters = iter + 1;
+
+    if (prev_omega > 0 &&
+        std::abs(omega - prev_omega) <= params_.tol * std::abs(omega)) {
+      res.converged = true;
+      break;
+    }
+    prev_omega = omega;
+  }
+
+  // --- diagnostics -----------------------------------------------------
+  const real vol = dx_ * dx_ * dx_;
+  real m1 = 0, m2 = 0, T = 0, Pi = 0;
+  rvec3 mx{0, 0, 0};
+  for (int i = 0; i < n_; ++i) {
+    const real x = xpos(i);
+    const bool star1 = x < x_split;
+    const real K = star1 ? res.k1 : res.k2;
+    for (int j = 0; j < n_; ++j)
+      for (int k = 0; k < n_; ++k) {
+        const real r = rho_[fidx(i, j, k, n_)];
+        if (r <= 0) continue;
+        const real m = r * vol;
+        (star1 ? m1 : m2) += m;
+        const real y = xpos(j), z = xpos(k);
+        mx += m * rvec3{x, y, z};
+        T += real(0.5) * m * res.omega * res.omega * (x * x + y * y);
+        Pi += K * std::pow(r, 1 + 1 / n_poly) * vol;
+      }
+  }
+  res.mass1 = m1;
+  res.mass2 = m2;
+  res.com = (m1 + m2) > 0 ? mx / (m1 + m2) : rvec3{0, 0, 0};
+  const real W = impl_->fmm.potential_energy();
+  res.virial_error = std::abs(2 * T + W + 3 * Pi) / std::abs(W);
+  result_ = res;
+  return res;
+}
+
+real binary_scf::sample(const std::vector<real>& f, const rvec3& x) const {
+  const real hw = params_.domain_half;
+  // Continuous cell coordinates (cell centers at integer + 0.5).
+  const real ci = (x.x + hw) / dx_ - real(0.5);
+  const real cj = (x.y + hw) / dx_ - real(0.5);
+  const real ck = (x.z + hw) / dx_ - real(0.5);
+  const int i0 = static_cast<int>(std::floor(ci));
+  const int j0 = static_cast<int>(std::floor(cj));
+  const int k0 = static_cast<int>(std::floor(ck));
+  real acc = 0;
+  for (int a = 0; a < 2; ++a)
+    for (int b = 0; b < 2; ++b)
+      for (int c = 0; c < 2; ++c) {
+        const int i = i0 + a, j = j0 + b, k = k0 + c;
+        if (i < 0 || i >= n_ || j < 0 || j >= n_ || k < 0 || k >= n_)
+          continue;
+        const real wi = 1 - std::abs(ci - i);
+        const real wj = 1 - std::abs(cj - j);
+        const real wk = 1 - std::abs(ck - k);
+        if (wi <= 0 || wj <= 0 || wk <= 0) continue;
+        acc += wi * wj * wk * f[fidx(i, j, k, n_)];
+      }
+  return acc;
+}
+
+real binary_scf::rho_at(const rvec3& x) const { return sample(rho_, x); }
+
+int binary_scf::component_at(const rvec3& x) const {
+  const real x_split = real(0.5) * ((params_.xc1 + params_.r1) +
+                                    (params_.xc2 - params_.r2));
+  return x.x < x_split ? 0 : 1;
+}
+
+real binary_scf::pressure_at(const rvec3& x) const {
+  const real r = rho_at(x);
+  const real K = component_at(x) == 0 ? result_.k1 : result_.k2;
+  return K * std::pow(std::max(r, real(0)), 1 + 1 / params_.n);
+}
+
+}  // namespace octo::scf

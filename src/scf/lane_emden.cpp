@@ -1,0 +1,115 @@
+#include "scf/lane_emden.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace octo::scf {
+
+namespace {
+constexpr real pi = real(3.14159265358979323846);
+
+/// RHS of the first-order system y = (theta, phi = xi^2 theta').
+void rhs(real n, real xi, real theta, real phi, real& dtheta, real& dphi) {
+  dtheta = (xi > 0) ? phi / (xi * xi) : real(0);
+  const real th = std::max(theta, real(0));
+  dphi = -std::pow(th, n) * xi * xi;
+}
+}  // namespace
+
+lane_emden_solution solve_lane_emden(real n, real dxi) {
+  OCTO_CHECK(n >= 0 && dxi > 0);
+  lane_emden_solution sol;
+  sol.n = n;
+
+  // Series start to avoid the coordinate singularity at xi = 0:
+  // theta = 1 - xi^2/6 + n xi^4 / 120.
+  real xi = dxi;
+  real theta = 1 - xi * xi / 6 + n * std::pow(xi, 4) / 120;
+  real phi = xi * xi * (-xi / 3 + n * std::pow(xi, 3) / 30);
+
+  const int store_every =
+      std::max(1, static_cast<int>(real(1e-3) / dxi));  // ~1e-3 resolution
+  int step = 0;
+  sol.xi.push_back(0);
+  sol.theta.push_back(1);
+
+  real prev_xi = xi, prev_theta = theta;
+  while (theta > 0 && xi < 100) {
+    // classic RK4
+    real k1t, k1p, k2t, k2p, k3t, k3p, k4t, k4p;
+    rhs(n, xi, theta, phi, k1t, k1p);
+    rhs(n, xi + dxi / 2, theta + dxi / 2 * k1t, phi + dxi / 2 * k1p, k2t,
+        k2p);
+    rhs(n, xi + dxi / 2, theta + dxi / 2 * k2t, phi + dxi / 2 * k2p, k3t,
+        k3p);
+    rhs(n, xi + dxi, theta + dxi * k3t, phi + dxi * k3p, k4t, k4p);
+    prev_xi = xi;
+    prev_theta = theta;
+    theta += dxi / 6 * (k1t + 2 * k2t + 2 * k3t + k4t);
+    phi += dxi / 6 * (k1p + 2 * k2p + 2 * k3p + k4p);
+    xi += dxi;
+    if (++step % store_every == 0 && theta > 0) {
+      sol.xi.push_back(xi);
+      sol.theta.push_back(theta);
+    }
+  }
+
+  // Linear interpolation of the zero crossing.
+  const real frac = prev_theta / (prev_theta - theta);
+  sol.xi1 = prev_xi + frac * dxi;
+  sol.dtheta_dxi1 = phi / (sol.xi1 * sol.xi1);
+  sol.xi.push_back(sol.xi1);
+  sol.theta.push_back(0);
+  return sol;
+}
+
+real lane_emden_solution::theta_at(real q) const {
+  if (q <= 0) return 1;
+  if (q >= xi1) return 0;
+  const auto it = std::lower_bound(xi.begin(), xi.end(), q);
+  const std::size_t hi = static_cast<std::size_t>(it - xi.begin());
+  if (hi == 0) return 1;
+  const std::size_t lo = hi - 1;
+  const real t = (q - xi[lo]) / (xi[hi] - xi[lo]);
+  return theta[lo] + t * (theta[hi] - theta[lo]);
+}
+
+real polytrope::alpha() const {
+  // alpha^2 = (n+1) K rho_c^(1/n - 1) / (4 pi G)
+  return std::sqrt((n + 1) * K * std::pow(rho_c, 1 / n - 1) /
+                   (4 * pi * units::G_code));
+}
+
+real polytrope::mass() const {
+  const real a = alpha();
+  return 4 * pi * a * a * a * rho_c * le.xi1 * le.xi1 *
+         std::abs(le.dtheta_dxi1);
+}
+
+real polytrope::rho_at(real r) const {
+  const real th = le.theta_at(r / alpha());
+  return rho_c * std::pow(std::max(th, real(0)), n);
+}
+
+real polytrope::pressure_at(real r) const {
+  const real rho = rho_at(r);
+  return K * std::pow(rho, 1 + 1 / n);
+}
+
+polytrope make_polytrope(real n, real mass, real radius) {
+  OCTO_CHECK(mass > 0 && radius > 0);
+  polytrope p;
+  p.n = n;
+  p.le = solve_lane_emden(n);
+  const real a = radius / p.le.xi1;
+  p.rho_c = mass / (4 * pi * a * a * a * p.le.xi1 * p.le.xi1 *
+                    std::abs(p.le.dtheta_dxi1));
+  p.K = 4 * pi * units::G_code * a * a / (n + 1) *
+        std::pow(p.rho_c, 1 - 1 / n);
+  return p;
+}
+
+}  // namespace octo::scf

@@ -1,0 +1,51 @@
+#pragma once
+/// \file lane_emden.hpp
+/// Lane–Emden equation solver and polytropic stellar models.
+///
+/// The SCF initializer (§IV-C: "the structure of the components may be
+/// polytropic") and the rotating-star scenario both build on polytropes:
+/// hydrostatic gas spheres with P = K rho^(1+1/n).  The dimensionless
+/// structure theta(xi) solves
+///     (1/xi^2) d/dxi (xi^2 dtheta/dxi) = -theta^n ,  theta(0)=1, theta'(0)=0
+/// and the physical star follows from the mass/radius scaling relations.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace octo::scf {
+
+/// Numerical solution of the Lane-Emden equation for index \p n.
+struct lane_emden_solution {
+  real n = 0;
+  real xi1 = 0;          ///< first zero of theta (dimensionless radius)
+  real dtheta_dxi1 = 0;  ///< theta'(xi1) (sets the mass integral)
+  std::vector<real> xi;
+  std::vector<real> theta;
+
+  /// theta at arbitrary xi (linear interpolation; 0 beyond xi1).
+  real theta_at(real xi_query) const;
+};
+
+/// Integrate with RK4 until theta crosses zero.
+lane_emden_solution solve_lane_emden(real n, real dxi = real(1e-4));
+
+/// A physical polytrope in code units (G = 1).
+struct polytrope {
+  real n = real(1.5);   ///< polytropic index
+  real K = 1;           ///< entropy constant, P = K rho^(1+1/n)
+  real rho_c = 1;       ///< central density
+  lane_emden_solution le;
+
+  real alpha() const;   ///< length scale: r = alpha * xi
+  real radius() const { return alpha() * le.xi1; }
+  real mass() const;
+  real rho_at(real r) const;      ///< density at radius r (0 outside)
+  real pressure_at(real r) const;
+};
+
+/// Build the polytrope with given total mass and radius (solves for K and
+/// rho_c through the Lane-Emden scalings).
+polytrope make_polytrope(real n, real mass, real radius);
+
+}  // namespace octo::scf

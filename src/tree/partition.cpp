@@ -1,0 +1,82 @@
+#include "tree/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace octo::tree {
+
+namespace {
+
+/// Assign each leaf (in Morton order) a locality by cost prefix sums, then
+/// propagate ownership to interior nodes (owner of first owned descendant).
+partition_result assign(const topology& topo, int num_localities,
+                        const std::vector<real>& cost) {
+  OCTO_CHECK(num_localities >= 1);
+  const auto& leaves = topo.leaves();
+  const auto nleaves = static_cast<std::size_t>(topo.num_leaves());
+  OCTO_CHECK(cost.size() == nleaves);
+
+  partition_result part;
+  part.num_localities = num_localities;
+  part.owner_of_node.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+  part.leaves_of_locality.assign(num_localities, {});
+
+  const real total = std::accumulate(cost.begin(), cost.end(), real(0));
+  const real per_loc = total / num_localities;
+
+  // Leaf i belongs to the locality whose cost interval contains the prefix
+  // sum before it.  Monotone in i, so each locality owns a contiguous
+  // Morton segment.
+  real running = 0;
+  for (std::size_t i = 0; i < nleaves; ++i) {
+    const int loc = std::min(num_localities - 1,
+                             static_cast<int>(running / per_loc));
+    part.owner_of_node[leaves[i]] = loc;
+    part.leaves_of_locality[static_cast<std::size_t>(loc)].push_back(
+        leaves[i]);
+    running += cost[i];
+  }
+
+  // Interior nodes: owner of the first child (post-order propagation works
+  // because nodes_ is Morton/DFS ordered: children come after parents, so
+  // iterate in reverse).
+  for (index_t n = topo.num_nodes() - 1; n >= 0; --n) {
+    const tnode& nd = topo.node(n);
+    if (!nd.leaf) {
+      part.owner_of_node[n] = part.owner_of_node[nd.children[0]];
+    }
+  }
+  return part;
+}
+
+}  // namespace
+
+partition_result partition_sfc(const topology& topo, int num_localities,
+                               const std::vector<real>& cost) {
+  std::vector<real> c = cost;
+  if (c.empty()) c.assign(static_cast<std::size_t>(topo.num_leaves()), 1);
+  return assign(topo, num_localities, c);
+}
+
+partition_result partition_equal_count(const topology& topo,
+                                       int num_localities) {
+  std::vector<real> c(static_cast<std::size_t>(topo.num_leaves()), 1);
+  return assign(topo, num_localities, c);
+}
+
+real remote_link_fraction(const topology& topo,
+                          const partition_result& part) {
+  index_t total = 0;
+  index_t remote = 0;
+  for (const index_t leaf : topo.leaves()) {
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      const index_t nb = topo.neighbor_or_coarser(leaf, d);
+      if (nb == invalid_node) continue;
+      ++total;
+      if (part.owner(nb) != part.owner(leaf)) ++remote;
+    }
+  }
+  return total == 0 ? real(0) : static_cast<real>(remote) / total;
+}
+
+}  // namespace octo::tree

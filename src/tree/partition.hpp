@@ -1,0 +1,43 @@
+#pragma once
+/// \file partition.hpp
+/// Space-filling-curve partitioning of the octree across localities.
+///
+/// Octo-Tiger distributes sub-grids over HPX localities along the Morton
+/// curve; contiguous curve segments of (approximately) equal cost go to each
+/// locality, which keeps most neighbor links local.  Interior nodes are
+/// assigned to the locality that owns their first descendant leaf, so tree
+/// traversals ascend mostly within one locality.
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "tree/topology.hpp"
+
+namespace octo::tree {
+
+struct partition_result {
+  /// Owner locality of every node (index into topology::node()).
+  std::vector<int> owner_of_node;
+  /// Leaf node indices per locality, Morton-contiguous.
+  std::vector<std::vector<index_t>> leaves_of_locality;
+  int num_localities = 0;
+
+  int owner(index_t node) const { return owner_of_node[node]; }
+};
+
+/// Partition by leaf costs (cost.size() == topology.num_leaves(), aligned
+/// with topology.leaves()).  Uniform cost when \p cost is empty.
+partition_result partition_sfc(const topology& topo, int num_localities,
+                               const std::vector<real>& cost = {});
+
+/// Naive equal-*count* partition (ignores cost); ablation baseline.
+partition_result partition_equal_count(const topology& topo,
+                                       int num_localities);
+
+/// Fraction of neighbor links (leaf, 26-dir, same-or-coarser) that cross a
+/// locality boundary — the communication surface the paper's §VII-B
+/// optimization targets.
+real remote_link_fraction(const topology& topo, const partition_result& part);
+
+}  // namespace octo::tree

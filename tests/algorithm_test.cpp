@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "amt/algorithm.hpp"
+
+namespace octo::amt {
+namespace {
+
+struct AlgoTest : testing::Test {
+  runtime rt{3};
+};
+
+TEST_F(AlgoTest, ForEachVisitsEveryElementOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  std::vector<int> idx(1000);
+  std::iota(idx.begin(), idx.end(), 0);
+  for_each(idx.begin(), idx.end(),
+           [&](int i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+           rt);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(AlgoTest, ForEachEmptyRange) {
+  std::vector<int> v;
+  int calls = 0;
+  for_each(v.begin(), v.end(), [&](int) { ++calls; }, rt);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(AlgoTest, TransformMatchesSerial) {
+  std::vector<int> in(777);
+  std::iota(in.begin(), in.end(), 1);
+  std::vector<long> out(in.size()), expect(in.size());
+  std::transform(in.begin(), in.end(), expect.begin(),
+                 [](int v) { return static_cast<long>(v) * v; });
+  const auto end = transform(in.begin(), in.end(), out.begin(),
+                             [](int v) { return static_cast<long>(v) * v; },
+                             rt);
+  EXPECT_EQ(end, out.end());
+  EXPECT_EQ(out, expect);
+}
+
+TEST_F(AlgoTest, ReduceMatchesAccumulate) {
+  std::vector<double> v(5000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<double>(i % 97) * 0.25;
+  const double expect = std::accumulate(v.begin(), v.end(), 0.0);
+  const double got =
+      reduce(v.begin(), v.end(), 0.0,
+             [](double a, double b) { return a + b; }, rt);
+  EXPECT_NEAR(got, expect, 1e-9);
+}
+
+TEST_F(AlgoTest, ReduceDeterministic) {
+  std::vector<double> v(3001);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = 1.0 / static_cast<double>(i + 1);
+  const auto run = [&] {
+    return reduce(v.begin(), v.end(), 0.0,
+                  [](double a, double b) { return a + b; }, rt);
+  };
+  EXPECT_EQ(run(), run());  // fixed decomposition -> bitwise stable
+}
+
+TEST_F(AlgoTest, WhenAnyResolvesWithFirstReady) {
+  std::vector<future<int>> futs;
+  promise<int> slow1, slow2;
+  futs.push_back(slow1.get_future());
+  futs.push_back(make_ready_future(7));
+  futs.push_back(slow2.get_future());
+  auto idx = when_any(futs, rt);
+  EXPECT_EQ(idx.get(rt), 1u);
+  slow1.set_value(0);  // complete the others; must not throw
+  slow2.set_value(0);
+}
+
+TEST_F(AlgoTest, WhenAnyWithAsyncWork) {
+  std::vector<future<int>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(async([i] { return i; }, rt));
+  const auto winner = when_any(futs, rt).get(rt);
+  EXPECT_LT(winner, 8u);
+}
+
+}  // namespace
+}  // namespace octo::amt

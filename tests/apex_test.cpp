@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "apex/apex.hpp"
+
+namespace octo::apex {
+namespace {
+
+TEST(Apex, TimerRegistrationIdempotent) {
+  auto& r = registry::instance();
+  const auto a = r.timer("apex_test.idempotent");
+  const auto b = r.timer("apex_test.idempotent");
+  EXPECT_EQ(a, b);
+  const auto c = r.timer("apex_test.other");
+  EXPECT_NE(a, c);
+}
+
+TEST(Apex, ScopedTimerAccumulates) {
+  auto& r = registry::instance();
+  const auto id = r.timer("apex_test.scoped");
+  const auto before = [&] {
+    for (const auto& t : r.timers())
+      if (t.name == "apex_test.scoped") return t.calls;
+    return std::uint64_t{0};
+  }();
+  {
+    scoped_timer t(id);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (const auto& t : r.timers()) {
+    if (t.name != "apex_test.scoped") continue;
+    EXPECT_EQ(t.calls, before + 1);
+    EXPECT_GT(t.max_seconds, 0.001);
+    EXPECT_LE(t.min_seconds, t.max_seconds);
+  }
+}
+
+TEST(Apex, CounterAdds) {
+  auto& r = registry::instance();
+  const auto id = r.counter("apex_test.counter");
+  r.add(id, 5);
+  r.add(id);
+  std::uint64_t got = 0;
+  for (const auto& c : r.counters())
+    if (c.name == "apex_test.counter") got = c.value;
+  EXPECT_GE(got, 6u);
+}
+
+TEST(Apex, DisabledIsNoOp) {
+  auto& r = registry::instance();
+  const auto id = r.counter("apex_test.disabled");
+  r.set_enabled(false);
+  r.add(id, 100);
+  r.set_enabled(true);
+  for (const auto& c : r.counters())
+    if (c.name == "apex_test.disabled") EXPECT_EQ(c.value, 0u);
+}
+
+TEST(Apex, TimedHelperReturnsValue) {
+  auto& r = registry::instance();
+  const auto id = r.timer("apex_test.timed");
+  EXPECT_EQ(timed(id, [] { return 42; }), 42);
+}
+
+TEST(Apex, ReportRenders) {
+  auto& r = registry::instance();
+  const auto id = r.timer("apex_test.report");
+  { scoped_timer t(id); }
+  std::ostringstream os;
+  r.report(os);
+  EXPECT_NE(os.str().find("apex_test.report"), std::string::npos);
+}
+
+TEST(Apex, ConcurrentSamplesAllCounted) {
+  auto& r = registry::instance();
+  const auto id = r.timer("apex_test.concurrent");
+  constexpr int per_thread = 2000;
+  auto work = [&] {
+    for (int i = 0; i < per_thread; ++i) r.sample(id, 1e-6);
+  };
+  std::thread t1(work), t2(work);
+  work();
+  t1.join();
+  t2.join();
+  for (const auto& t : r.timers())
+    if (t.name == "apex_test.concurrent")
+      EXPECT_EQ(t.calls, 3u * per_thread);
+}
+
+}  // namespace
+}  // namespace octo::apex

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/workload.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace octo::des {
+namespace {
+
+engine_config one_node_cfg(int cores) {
+  engine_config cfg;
+  cfg.machine = machine::fugaku();
+  cfg.num_nodes = 1;
+  cfg.cores_per_node = cores;
+  return cfg;
+}
+
+TEST(Engine, SingleTask) {
+  graph g;
+  g.add_task(2.5, 0);
+  const auto r = simulate(g, one_node_cfg(1));
+  EXPECT_DOUBLE_EQ(r.makespan, 2.5);
+  EXPECT_EQ(r.tasks_executed, 1);
+  EXPECT_NEAR(r.cpu_utilization, 1.0, 1e-12);
+}
+
+TEST(Engine, ChainIsSequential) {
+  graph g;
+  const auto a = g.add_task(1.0, 0);
+  const auto b = g.add_task(2.0, 0);
+  const auto c = g.add_task(3.0, 0);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const auto r = simulate(g, one_node_cfg(8));
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+}
+
+TEST(Engine, IndependentTasksUseAllCores) {
+  graph g;
+  for (int i = 0; i < 12; ++i) g.add_task(1.0, 0);
+  EXPECT_DOUBLE_EQ(simulate(g, one_node_cfg(4)).makespan, 3.0);
+  graph g2;
+  for (int i = 0; i < 12; ++i) g2.add_task(1.0, 0);
+  EXPECT_DOUBLE_EQ(simulate(g2, one_node_cfg(12)).makespan, 1.0);
+}
+
+TEST(Engine, MessageAddsLatencyAndBandwidth) {
+  graph g;
+  const auto a = g.add_task(1.0, 0);
+  const auto b = g.add_task(1.0, 1);
+  const double bytes = 1e6;
+  g.add_edge(a, b, bytes);
+  engine_config cfg = one_node_cfg(1);
+  cfg.num_nodes = 2;
+  const auto r = simulate(g, cfg);
+  const auto& net = cfg.machine.net;
+  const double expect = 1.0 + bytes / (net.bandwidth_gbs * 1e9) +
+                        net.latency_us * 1e-6 + net.per_message_us * 1e-6 +
+                        1.0;
+  EXPECT_NEAR(r.makespan, expect, 1e-12);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_DOUBLE_EQ(r.bytes, bytes);
+}
+
+TEST(Engine, InjectionBandwidthSerializesMessages) {
+  // Two big messages from the same node must serialize on its NIC.
+  graph g;
+  const auto a = g.add_task(1.0, 0);
+  const auto b1 = g.add_task(0.0, 1);
+  const auto b2 = g.add_task(0.0, 1);
+  const double bytes = 6.8e9;  // exactly 1 s at Tofu-D bandwidth
+  g.add_edge(a, b1, bytes);
+  g.add_edge(a, b2, bytes);
+  engine_config cfg = one_node_cfg(1);
+  cfg.num_nodes = 2;
+  const auto r = simulate(g, cfg);
+  EXPECT_GT(r.makespan, 2.9);  // 1 (compute) + 2 x 1 (serialized transfers)
+}
+
+TEST(Engine, LocalEdgeHasNoNetworkCost) {
+  graph g;
+  const auto a = g.add_task(1.0, 0);
+  const auto b = g.add_task(1.0, 0);
+  g.add_edge(a, b, 1e9);  // bytes ignored: same node
+  const auto r = simulate(g, one_node_cfg(2));
+  EXPECT_DOUBLE_EQ(r.makespan, 2.0);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Engine, CycleDetected) {
+  graph g;
+  const auto a = g.add_task(1.0, 0);
+  const auto b = g.add_task(1.0, 0);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  auto cfg = one_node_cfg(2);
+  EXPECT_THROW(simulate(g, cfg), error);
+}
+
+TEST(Engine, GpuTasksRunOnGpuUnits) {
+  graph g;
+  for (int i = 0; i < 8; ++i) g.add_task(1.0, 0, unit_kind::gpu);
+  engine_config cfg;
+  cfg.machine = machine::piz_daint();  // 1 GPU x 8 streams
+  cfg.num_nodes = 1;
+  const auto r = simulate(g, cfg);
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+  EXPECT_GT(r.gpu_utilization, 0.99);
+}
+
+TEST(Engine, GpuTaskWithoutGpusThrows) {
+  graph g;
+  g.add_task(1.0, 0, unit_kind::gpu);
+  engine_config cfg;
+  cfg.machine = machine::fugaku();
+  cfg.num_nodes = 1;
+  EXPECT_THROW(simulate(g, cfg), error);
+}
+
+// ---------------------------------------------------------------------------
+// workload-level properties
+// ---------------------------------------------------------------------------
+
+struct Workload : testing::Test {
+  tree::topology topo = scen::rotating_star().make_topology(4);
+};
+
+TEST_F(Workload, SingleNodeHasNoMessages) {
+  const auto r = run_experiment(topo, machine::fugaku(), 1,
+                                workload_options{});
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_GT(r.cells_per_sec, 0);
+}
+
+TEST_F(Workload, MakespanRespectsLowerBounds) {
+  const workload_options opt;
+  const auto part = tree::partition_sfc(topo, 4);
+  graph g = build_step_graph(topo, part, machine::fugaku(), opt);
+  // total work / total cores is a hard lower bound on the makespan
+  double total_work = 0;
+  double max_cost = 0;
+  for (const auto& t : g.tasks) {
+    total_work += t.cost;
+    max_cost = std::max(max_cost, t.cost);
+  }
+  engine_config cfg;
+  cfg.machine = machine::fugaku();
+  cfg.num_nodes = 4;
+  const auto r = simulate(g, cfg);
+  EXPECT_GE(r.makespan, total_work / (4.0 * 48) - 1e-12);
+  EXPECT_GE(r.makespan, max_cost - 1e-12);
+}
+
+TEST_F(Workload, ThroughputImprovesWithNodesThenSaturates) {
+  const workload_options opt;
+  double prev = 0;
+  for (const int nodes : {1, 2, 4, 8}) {
+    const auto r = run_experiment(topo, machine::fugaku(), nodes, opt);
+    EXPECT_GT(r.cells_per_sec, prev);  // still in the scaling regime
+    prev = r.cells_per_sec;
+  }
+  // far beyond the work supply, throughput stops improving linearly
+  const auto r64 = run_experiment(topo, machine::fugaku(), 64, opt);
+  const auto r256 = run_experiment(topo, machine::fugaku(), 256, opt);
+  EXPECT_LT(r256.cells_per_sec / r64.cells_per_sec, 2.5);
+}
+
+TEST_F(Workload, SimdKnobMatchesPaperRange) {
+  workload_options on, off;
+  off.simd = false;
+  const auto r_on = run_experiment(topo, machine::ookami(), 2, on);
+  const auto r_off = run_experiment(topo, machine::ookami(), 2, off);
+  const double speedup = r_on.cells_per_sec / r_off.cells_per_sec;
+  EXPECT_GT(speedup, 2.0);  // paper §VII-A: "between a factor of 2 and 3"
+  EXPECT_LT(speedup, 3.0);
+}
+
+TEST_F(Workload, ChunkSplittingHelpsOnlyWhenStarved) {
+  workload_options c1, c16;
+  c16.m2l_chunks = 16;
+  // ample work per node: no effect
+  const auto a1 = run_experiment(topo, machine::ookami(), 1, c1);
+  const auto a16 = run_experiment(topo, machine::ookami(), 1, c16);
+  EXPECT_NEAR(a16.cells_per_sec / a1.cells_per_sec, 1.0, 0.05);
+  // starved regime (few sub-grids per 48-core node): clear win
+  const auto b1 = run_experiment(topo, machine::ookami(), 32, c1);
+  const auto b16 = run_experiment(topo, machine::ookami(), 32, c16);
+  EXPECT_GT(b16.cells_per_sec / b1.cells_per_sec, 1.1);
+}
+
+TEST_F(Workload, CommOptHelpsSmallHurtsLarge) {
+  workload_options on, off;
+  off.comm_opt = false;
+  const auto s_on = run_experiment(topo, machine::ookami(), 1, on);
+  const auto s_off = run_experiment(topo, machine::ookami(), 1, off);
+  EXPECT_GT(s_on.cells_per_sec, s_off.cells_per_sec);  // benefit when local
+  const auto l_on = run_experiment(topo, machine::ookami(), 64, on);
+  const auto l_off = run_experiment(topo, machine::ookami(), 64, off);
+  EXPECT_LT(l_on.cells_per_sec, l_off.cells_per_sec * 1.005);  // ~break-even
+}
+
+TEST_F(Workload, BoostModeMarginalGain) {
+  workload_options normal, boost;
+  boost.boost = true;
+  const auto rn = run_experiment(topo, machine::fugaku(), 1, normal);
+  const auto rb = run_experiment(topo, machine::fugaku(), 1, boost);
+  const double gain = rb.cells_per_sec / rn.cells_per_sec;
+  EXPECT_GT(gain, 1.0);
+  EXPECT_LT(gain, 1.12);
+}
+
+TEST_F(Workload, GpusBeatCpuOnlyOnPerlmutter) {
+  workload_options gpu, cpu;
+  cpu.use_gpus = false;
+  const auto rg = run_experiment(topo, machine::perlmutter(), 4, gpu);
+  const auto rc = run_experiment(topo, machine::perlmutter(), 4, cpu);
+  EXPECT_GT(rg.cells_per_sec / rc.cells_per_sec, 5.0);  // Fig. 5 direction
+}
+
+TEST_F(Workload, MachineOrderingMatchesFig4) {
+  // per-node throughput: Summit (6 GPUs) > Piz Daint (1 GPU) > Fugaku (CPU)
+  const workload_options opt;
+  const auto rs = run_experiment(topo, machine::summit(), 4, opt);
+  const auto rp = run_experiment(topo, machine::piz_daint(), 4, opt);
+  const auto rf = run_experiment(topo, machine::fugaku(), 4, opt);
+  EXPECT_GT(rs.cells_per_sec, rp.cells_per_sec);
+  EXPECT_GT(rp.cells_per_sec, rf.cells_per_sec);
+  // but Fugaku is "close" to Piz Daint: within an order of magnitude
+  EXPECT_LT(rp.cells_per_sec / rf.cells_per_sec, 10.0);
+}
+
+TEST_F(Workload, PowerScalesWithNodes) {
+  // Table II: total power grows with node count; per-node power falls as
+  // nodes starve.
+  const workload_options opt;
+  const auto r8 = run_experiment(topo, machine::fugaku(), 8, opt);
+  const auto r64 = run_experiment(topo, machine::fugaku(), 64, opt);
+  EXPECT_GT(r64.total_power_w, r8.total_power_w);
+  EXPECT_LE(r64.avg_node_power_w, r8.avg_node_power_w + 1e-9);
+  // plausible A64FX node power range
+  EXPECT_GT(r8.avg_node_power_w, 60);
+  EXPECT_LT(r8.avg_node_power_w, 130);
+}
+
+TEST_F(Workload, DeterministicAcrossRuns) {
+  const workload_options opt;
+  const auto a = run_experiment(topo, machine::fugaku(), 16, opt);
+  const auto b = run_experiment(topo, machine::fugaku(), 16, opt);
+  EXPECT_DOUBLE_EQ(a.step_seconds, b.step_seconds);
+  EXPECT_EQ(a.messages, b.messages);
+}
+
+TEST_F(Workload, GravityKnobReducesWork) {
+  workload_options with, without;
+  without.gravity = false;
+  const auto rw = run_experiment(topo, machine::fugaku(), 2, with);
+  const auto ro = run_experiment(topo, machine::fugaku(), 2, without);
+  EXPECT_GT(ro.cells_per_sec, 2 * rw.cells_per_sec);  // gravity dominates
+}
+
+}  // namespace
+}  // namespace octo::des

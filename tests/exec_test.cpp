@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "exec/view.hpp"
+
+namespace octo::exec {
+namespace {
+
+struct ExecTest : testing::Test {
+  amt::runtime rt{3};
+};
+
+TEST_F(ExecTest, RangePolicyBasics) {
+  range_policy p(5, 12);
+  EXPECT_EQ(p.size(), 7);
+  EXPECT_EQ(range_policy(9).begin, 0);
+  EXPECT_THROW(range_policy(5, 3), octo::error);
+}
+
+TEST_F(ExecTest, MdRangeUnflattenRoundTrip) {
+  mdrange_policy p({1, 2, 3}, {4, 7, 9});
+  EXPECT_EQ(p.size(), 3 * 5 * 6);
+  index_t flat = 0;
+  for (index_t i = p.begin[0]; i < p.end[0]; ++i)
+    for (index_t j = p.begin[1]; j < p.end[1]; ++j)
+      for (index_t k = p.begin[2]; k < p.end[2]; ++k) {
+        const auto ijk = p.unflatten(flat++);
+        EXPECT_EQ(ijk[0], i);
+        EXPECT_EQ(ijk[1], j);
+        EXPECT_EQ(ijk[2], k);
+      }
+}
+
+TEST_F(ExecTest, ChunkBoundsCoverRange) {
+  for (const index_t n : {1, 7, 64, 1000}) {
+    for (const int chunks : {1, 3, 16}) {
+      index_t covered = 0;
+      for (int c = 0; c < chunks; ++c)
+        covered += chunk_begin(n, chunks, c + 1) - chunk_begin(n, chunks, c);
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(chunk_begin(n, chunks, 0), 0);
+      EXPECT_EQ(chunk_begin(n, chunks, chunks), n);
+    }
+  }
+}
+
+TEST_F(ExecTest, SerialParallelFor) {
+  std::vector<int> hit(100, 0);
+  parallel_for(serial_space{}, range_policy(100),
+               [&](index_t i) { hit[static_cast<std::size_t>(i)]++; });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 100);
+}
+
+TEST_F(ExecTest, SerialReduce) {
+  const double s = parallel_reduce(
+      serial_space{}, range_policy(1, 101), 0.0,
+      [](index_t i, double& acc) { acc += static_cast<double>(i); },
+      plus_op{});
+  EXPECT_DOUBLE_EQ(s, 5050.0);
+}
+
+class ChunkedFor : public testing::TestWithParam<int> {
+ protected:
+  amt::runtime rt{3};
+};
+
+TEST_P(ChunkedFor, EveryIndexExactlyOnce) {
+  const int chunks = GetParam();
+  amt_space space(rt, {chunks});
+  std::vector<std::atomic<int>> hit(517);
+  for (auto& h : hit) h.store(0);
+  parallel_for(space, range_policy(517),
+               [&](index_t i) { hit[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ChunkedFor, ReduceMatchesSerial) {
+  const int chunks = GetParam();
+  amt_space space(rt, {chunks});
+  const double s = parallel_reduce(
+      space, range_policy(1234), 0.0,
+      [](index_t i, double& acc) { acc += static_cast<double>(i * i); },
+      plus_op{});
+  double expect = 0;
+  for (index_t i = 0; i < 1234; ++i) expect += static_cast<double>(i * i);
+  EXPECT_DOUBLE_EQ(s, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkedFor,
+                         testing::Values(1, 2, 4, 16, 64));
+
+TEST_F(ExecTest, AsyncForReturnsFuture) {
+  amt_space space(rt, {4});
+  std::vector<std::atomic<int>> hit(64);
+  for (auto& h : hit) h.store(0);
+  auto f = async_for(space, range_policy(64), [&](index_t i) {
+    hit[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  f.get(rt);
+  for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_F(ExecTest, AsyncReduceMinMax) {
+  amt_space space(rt, {8});
+  auto fmin = async_reduce(
+      space, range_policy(1000), 1e300,
+      [](index_t i, double& acc) {
+        acc = std::min(acc, static_cast<double>((i * 37) % 1000));
+      },
+      min_op{});
+  EXPECT_DOUBLE_EQ(fmin.get(rt), 0.0);
+  auto fmax = async_reduce(
+      space, range_policy(1000), -1e300,
+      [](index_t i, double& acc) {
+        acc = std::max(acc, static_cast<double>(i)); },
+      max_op{});
+  EXPECT_DOUBLE_EQ(fmax.get(rt), 999.0);
+}
+
+TEST_F(ExecTest, EmptyRange) {
+  amt_space space(rt, {4});
+  int hits = 0;
+  parallel_for(space, range_policy(0), [&](index_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST_F(ExecTest, WithChunksOverride) {
+  amt_space space(rt, {1});
+  EXPECT_EQ(space.params().chunks, 1);
+  EXPECT_EQ(space.with_chunks(16).params().chunks, 16);
+  EXPECT_EQ(space.params().chunks, 1);  // original unchanged
+}
+
+TEST_F(ExecTest, MdParallelForAmt) {
+  amt_space space(rt, {4});
+  std::vector<std::atomic<int>> hit(4 * 5 * 6);
+  for (auto& h : hit) h.store(0);
+  parallel_for(space, mdrange_policy({4, 5, 6}),
+               [&](index_t i, index_t j, index_t k) {
+                 hit[static_cast<std::size_t>((i * 5 + j) * 6 + k)].fetch_add(1);
+               });
+  for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(HostView, ShapeAndAccess) {
+  host_view<double> v("test", 3, 4, 5);
+  EXPECT_EQ(v.rank(), 3);
+  EXPECT_EQ(v.extent(0), 3);
+  EXPECT_EQ(v.extent(2), 5);
+  EXPECT_EQ(v.size(), 60);
+  v(2, 3, 4) = 7.5;
+  EXPECT_DOUBLE_EQ(v(2, 3, 4), 7.5);
+  // row-major: last index contiguous
+  EXPECT_EQ(&v(0, 0, 1) - &v(0, 0, 0), 1);
+  EXPECT_EQ(&v(0, 1, 0) - &v(0, 0, 0), 5);
+}
+
+TEST(HostView, Fill) {
+  host_view<int> v("f", 10);
+  v.fill(3);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(v(i), 3);
+}
+
+}  // namespace
+}  // namespace octo::exec

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "amt/future.hpp"
+
+namespace octo::amt {
+namespace {
+
+struct FutureTest : testing::Test {
+  runtime rt{2};
+};
+
+TEST_F(FutureTest, PromiseThenFutureValue) {
+  promise<int> p;
+  auto f = p.get_future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.is_ready());
+  p.set_value(42);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(rt), 42);
+}
+
+TEST_F(FutureTest, VoidFuture) {
+  promise<void> p;
+  auto f = p.get_future();
+  p.set_value();
+  EXPECT_NO_THROW(f.get(rt));
+}
+
+TEST_F(FutureTest, MakeReadyFuture) {
+  auto f = make_ready_future(std::string("hello"));
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(rt), "hello");
+  auto fv = make_ready_future();
+  EXPECT_TRUE(fv.is_ready());
+}
+
+TEST_F(FutureTest, MoveOnlyValue) {
+  promise<std::unique_ptr<int>> p;
+  auto f = p.get_future();
+  p.set_value(std::make_unique<int>(5));
+  auto v = f.get(rt);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 5);
+}
+
+TEST_F(FutureTest, AsyncReturnsResult) {
+  auto f = async([] { return 6 * 7; }, rt);
+  EXPECT_EQ(f.get(rt), 42);
+}
+
+TEST_F(FutureTest, AsyncVoid) {
+  std::atomic<bool> hit{false};
+  auto f = async([&] { hit.store(true); }, rt);
+  f.get(rt);
+  EXPECT_TRUE(hit.load());
+}
+
+TEST_F(FutureTest, ExceptionPropagates) {
+  auto f = async([]() -> int { throw std::runtime_error("boom"); }, rt);
+  EXPECT_THROW(f.get(rt), std::runtime_error);
+}
+
+TEST_F(FutureTest, ThenChainsValues) {
+  auto f = async([] { return 10; }, rt)
+               .then([](int v) { return v + 1; }, rt)
+               .then([](int v) { return v * 2; }, rt);
+  EXPECT_EQ(f.get(rt), 22);
+}
+
+TEST_F(FutureTest, ThenVoidToValue) {
+  auto f = async([] {}, rt).then([] { return 3; }, rt);
+  EXPECT_EQ(f.get(rt), 3);
+}
+
+TEST_F(FutureTest, ThenValueToVoid) {
+  std::atomic<int> sink{0};
+  auto f = async([] { return 9; }, rt).then([&](int v) { sink.store(v); },
+                                            rt);
+  f.get(rt);
+  EXPECT_EQ(sink.load(), 9);
+}
+
+TEST_F(FutureTest, ThenOnReadyFutureRunsImmediately) {
+  auto f = make_ready_future(5).then_inline([](int v) { return v * v; }, rt);
+  EXPECT_EQ(f.get(rt), 25);
+}
+
+TEST_F(FutureTest, ThenExceptionPropagatesThroughChain) {
+  auto f = async([]() -> int { throw std::logic_error("x"); }, rt)
+               .then([](int v) { return v + 1; }, rt);
+  EXPECT_THROW(f.get(rt), std::logic_error);
+}
+
+TEST_F(FutureTest, WhenAllVoid) {
+  std::vector<future<int>> futs;
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i)
+    futs.push_back(async([i, &sum] {
+      sum.fetch_add(i);
+      return i;
+    }, rt));
+  when_all(std::move(futs), rt).get(rt);
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST_F(FutureTest, WhenAllEmpty) {
+  std::vector<future<int>> futs;
+  auto f = when_all(std::move(futs), rt);
+  EXPECT_TRUE(f.is_ready());
+}
+
+TEST_F(FutureTest, WhenAllValuesGathers) {
+  std::vector<future<int>> futs;
+  for (int i = 0; i < 5; ++i) futs.push_back(async([i] { return i * i; }, rt));
+  auto vals = when_all_values(std::move(futs), rt).get(rt);
+  ASSERT_EQ(vals.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(vals[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST_F(FutureTest, WhenAllPropagatesException) {
+  std::vector<future<int>> futs;
+  futs.push_back(async([]() -> int { return 1; }, rt));
+  futs.push_back(async([]() -> int { throw std::runtime_error("bad"); }, rt));
+  EXPECT_THROW(when_all(std::move(futs), rt).get(rt), std::runtime_error);
+}
+
+TEST_F(FutureTest, WaitAllHelper) {
+  std::vector<future<void>> futs;
+  std::atomic<int> n{0};
+  for (int i = 0; i < 20; ++i)
+    futs.push_back(async([&] { n.fetch_add(1); }, rt));
+  wait_all(futs, rt);
+  EXPECT_EQ(n.load(), 20);
+}
+
+TEST_F(FutureTest, DoubleSetValueThrows) {
+  promise<int> p;
+  p.set_value(1);
+  EXPECT_THROW(p.set_value(2), octo::error);
+}
+
+TEST_F(FutureTest, ContinuationDeepChainNoStackOverflow) {
+  // 10k chained inline continuations must not recurse on the stack:
+  // each fires only when its predecessor's value is set.
+  auto f = make_ready_future(0);
+  for (int i = 0; i < 10000; ++i)
+    f = f.then_inline([](int v) { return v + 1; }, rt);
+  EXPECT_EQ(f.get(rt), 10000);
+}
+
+}  // namespace
+}  // namespace octo::amt

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/spec.hpp"
+
+namespace octo::machine {
+namespace {
+
+TEST(MachineSpec, LookupByName) {
+  EXPECT_EQ(by_name("fugaku").name, "Fugaku");
+  EXPECT_EQ(by_name("Perlmutter").name, "Perlmutter");
+  EXPECT_EQ(by_name("summit").name, "Summit");
+  EXPECT_EQ(by_name("piz_daint").name, "PizDaint");
+  EXPECT_EQ(by_name("ookami").name, "Ookami");
+  EXPECT_THROW(by_name("cray-1"), octo::error);
+}
+
+TEST(MachineSpec, PaperFacts) {
+  const auto f = fugaku();
+  EXPECT_EQ(f.node.cpu.cores, 48);
+  EXPECT_DOUBLE_EQ(f.node.cpu.freq_ghz, 1.8);   // default power-saving clock
+  EXPECT_DOUBLE_EQ(f.node.cpu.boost_ghz, 2.2);  // boost mode
+  EXPECT_DOUBLE_EQ(f.node.memory_gb, 28);       // usable per node (§VI-B)
+  EXPECT_TRUE(f.node.gpus.empty());
+  EXPECT_EQ(f.net.name, "Tofu-D");
+
+  EXPECT_EQ(perlmutter().node.gpus.size(), 4u);   // 4x A100
+  EXPECT_EQ(summit().node.gpus.size(), 6u);       // 6x V100
+  EXPECT_EQ(piz_daint().node.gpus.size(), 1u);    // 1x P100
+  EXPECT_DOUBLE_EQ(summit().node.memory_gb, 512);
+  EXPECT_DOUBLE_EQ(piz_daint().node.memory_gb, 64);
+}
+
+TEST(MachineSpec, OokamiDiffersByInterconnect) {
+  const auto f = fugaku();
+  const auto o = ookami();
+  EXPECT_EQ(o.node.cpu.cores, f.node.cpu.cores);  // same A64FX
+  EXPECT_NE(o.net.name, f.net.name);              // Tofu-D vs InfiniBand
+  EXPECT_DOUBLE_EQ(o.node.cpu.boost_ghz, 0);      // no boost on Ookami
+}
+
+TEST(CostModel, SimdSpeedsUpKernels) {
+  const auto cpu = fugaku().node.cpu;
+  const real t_scalar = cpu_seconds(cpu, 1e6, false, false);
+  const real t_simd = cpu_seconds(cpu, 1e6, false, true);
+  EXPECT_NEAR(t_scalar / t_simd, cpu.simd_speedup, 1e-10);
+}
+
+TEST(CostModel, BoostGainIsMarginal) {
+  // Fig. 3: boost raises the clock 22% but the kernels are memory-bound,
+  // so the end-to-end gain must be well below the frequency ratio.
+  const auto cpu = fugaku().node.cpu;
+  const real t_normal = cpu_seconds(cpu, 1e6, false, true);
+  const real t_boost = cpu_seconds(cpu, 1e6, true, true);
+  const real gain = t_normal / t_boost;
+  EXPECT_GT(gain, 1.0);
+  EXPECT_LT(gain, cpu.boost_ghz / cpu.freq_ghz);
+  EXPECT_LT(gain, 1.12);
+}
+
+TEST(CostModel, NoBoostMeansNoChange) {
+  const auto cpu = ookami().node.cpu;  // boost_ghz == 0
+  EXPECT_DOUBLE_EQ(cpu_seconds(cpu, 1e6, true, true),
+                   cpu_seconds(cpu, 1e6, false, true));
+}
+
+TEST(CostModel, GpuFasterThanCpuCoreForBigKernels) {
+  const auto m = perlmutter();
+  const real t_gpu = gpu_seconds(m.node.gpus.front(), 14e6);
+  const real t_cpu = cpu_seconds(m.node.cpu, 14e6, false, true);
+  EXPECT_LT(t_gpu, t_cpu);
+}
+
+TEST(CostModel, GpuLaunchOverheadDominatesTinyKernels) {
+  const auto g = perlmutter().node.gpus.front();
+  const real t_tiny = gpu_seconds(g, 1.0);  // ~pure launch overhead
+  EXPECT_NEAR(t_tiny, g.launch_overhead_us * 1e-6 / g.aggregation, 1e-9);
+}
+
+TEST(PowerModel, IdleAndFullScale) {
+  const auto n = fugaku().node;
+  const real idle = node_power_watts(n, 0, 0);
+  const real full = node_power_watts(n, 1, 0);
+  EXPECT_DOUBLE_EQ(idle, n.idle_watts);
+  EXPECT_DOUBLE_EQ(full, n.idle_watts + n.dynamic_watts);
+  // Table II range: ~90-125 W per A64FX node
+  EXPECT_GT(idle, 50);
+  EXPECT_LT(full, 150);
+}
+
+TEST(PowerModel, GpuNodesDrawMore) {
+  const real p_fugaku = node_power_watts(fugaku().node, 1, 0);
+  const real p_summit = node_power_watts(summit().node, 1, 1);
+  EXPECT_GT(p_summit, 3 * p_fugaku);
+}
+
+}  // namespace
+}  // namespace octo::machine

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "tree/morton.hpp"
+
+namespace octo::tree {
+namespace {
+
+TEST(Morton, RootProperties) {
+  EXPECT_EQ(code_level(root_code), 0);
+  EXPECT_EQ(code_coords(root_code), (ivec3{0, 0, 0}));
+}
+
+TEST(Morton, ChildParentRoundTrip) {
+  for (int oct = 0; oct < 8; ++oct) {
+    const code_t c = code_child(root_code, oct);
+    EXPECT_EQ(code_level(c), 1);
+    EXPECT_EQ(code_parent(c), root_code);
+    EXPECT_EQ(code_octant(c), oct);
+  }
+}
+
+TEST(Morton, OctantBitConvention) {
+  // bit 0 = x, bit 1 = y, bit 2 = z
+  EXPECT_EQ(code_coords(code_child(root_code, 1)), (ivec3{1, 0, 0}));
+  EXPECT_EQ(code_coords(code_child(root_code, 2)), (ivec3{0, 1, 0}));
+  EXPECT_EQ(code_coords(code_child(root_code, 4)), (ivec3{0, 0, 1}));
+  EXPECT_EQ(code_coords(code_child(root_code, 7)), (ivec3{1, 1, 1}));
+}
+
+class MortonLevel : public testing::TestWithParam<int> {};
+
+TEST_P(MortonLevel, CoordsRoundTripAllCells) {
+  const int level = GetParam();
+  const index_t n = index_t(1) << level;
+  // Sweep a sparse but structured set of coordinates.
+  for (index_t x = 0; x < n; x += std::max<index_t>(1, n / 5))
+    for (index_t y = 0; y < n; y += std::max<index_t>(1, n / 5))
+      for (index_t z = 0; z < n; z += std::max<index_t>(1, n / 5)) {
+        const code_t c = code_from_coords(level, {x, y, z});
+        EXPECT_EQ(code_level(c), level);
+        EXPECT_EQ(code_coords(c), (ivec3{x, y, z}));
+      }
+}
+
+TEST_P(MortonLevel, NeighborArithmetic) {
+  const int level = GetParam();
+  if (level == 0) return;
+  const index_t n = index_t(1) << level;
+  const ivec3 mid{n / 2, n / 2, n / 2};
+  const code_t c = code_from_coords(level, mid);
+  for (const auto& d : directions()) {
+    const ivec3 q = mid + d;
+    const bool inside = q.x >= 0 && q.x < n && q.y >= 0 && q.y < n &&
+                        q.z >= 0 && q.z < n;
+    const auto nb = code_neighbor(c, d);
+    ASSERT_EQ(nb.has_value(), inside);
+    if (!inside) continue;
+    EXPECT_EQ(code_coords(*nb), mid + d);
+    // neighbor-of-neighbor in the opposite direction is the original
+    const auto back = code_neighbor(*nb, ivec3{-d.x, -d.y, -d.z});
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+}
+
+TEST_P(MortonLevel, BoundaryNeighborsAbsent) {
+  const int level = GetParam();
+  const code_t corner = code_from_coords(level, {0, 0, 0});
+  EXPECT_FALSE(code_neighbor(corner, ivec3{-1, 0, 0}).has_value());
+  EXPECT_FALSE(code_neighbor(corner, ivec3{0, -1, -1}).has_value());
+  if (level > 0)
+    EXPECT_TRUE(code_neighbor(corner, ivec3{1, 1, 1}).has_value());
+  else
+    EXPECT_FALSE(code_neighbor(corner, ivec3{1, 1, 1}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MortonLevel, testing::Values(0, 1, 2, 3, 5, 8));
+
+TEST(Morton, AncestorRelation) {
+  const code_t c = code_child(code_child(code_child(root_code, 3), 5), 7);
+  EXPECT_TRUE(code_is_ancestor(root_code, c));
+  EXPECT_TRUE(code_is_ancestor(code_parent(c), c));
+  EXPECT_TRUE(code_is_ancestor(c, c));
+  EXPECT_FALSE(code_is_ancestor(c, code_parent(c)));
+  const code_t sibling = code_child(code_parent(c), (code_octant(c) + 1) % 8);
+  EXPECT_FALSE(code_is_ancestor(sibling, c));
+}
+
+TEST(Directions, CountAndUniqueness) {
+  const auto& dirs = directions();
+  EXPECT_EQ(dirs.size(), 26u);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    // nonzero
+    EXPECT_FALSE(dirs[i] == (ivec3{0, 0, 0}));
+    for (std::size_t j = i + 1; j < dirs.size(); ++j)
+      EXPECT_FALSE(dirs[i] == dirs[j]);
+  }
+}
+
+TEST(Directions, FacesFirst) {
+  for (int d = 0; d < 6; ++d) {
+    const ivec3 v = directions()[d];
+    const int nz = (v.x != 0) + (v.y != 0) + (v.z != 0);
+    EXPECT_EQ(nz, 1);
+    EXPECT_TRUE(dir_is_face(d));
+  }
+  for (int d = 6; d < 26; ++d) EXPECT_FALSE(dir_is_face(d));
+}
+
+TEST(Directions, OppositeIsInvolution) {
+  for (int d = 0; d < NNEIGHBOR; ++d) {
+    const int o = dir_opposite(d);
+    EXPECT_EQ(dir_opposite(o), d);
+    const ivec3 v = directions()[d], w = directions()[o];
+    EXPECT_EQ(v + w, (ivec3{0, 0, 0}));
+  }
+}
+
+TEST(Directions, IndexRoundTrip) {
+  for (int d = 0; d < NNEIGHBOR; ++d)
+    EXPECT_EQ(dir_index(directions()[d]), d);
+}
+
+}  // namespace
+}  // namespace octo::tree

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "amt/future.hpp"
+#include "amt/runtime.hpp"
+#include "amt/sync.hpp"
+
+namespace octo::amt {
+namespace {
+
+TEST(Runtime, RunsPostedTask) {
+  runtime rt(2);
+  event done;
+  rt.post([&] { done.set(); });
+  done.wait(rt);
+  EXPECT_TRUE(done.is_set());
+}
+
+TEST(Runtime, Concurrency) {
+  runtime rt(3);
+  EXPECT_EQ(rt.concurrency(), 3u);
+}
+
+TEST(Runtime, ManyTasksAllExecute) {
+  runtime rt(4);
+  constexpr int N = 5000;
+  std::atomic<int> count{0};
+  latch l(N);
+  for (int i = 0; i < N; ++i) {
+    rt.post([&] {
+      count.fetch_add(1, std::memory_order_relaxed);
+      l.count_down();
+    });
+  }
+  l.wait(rt);
+  EXPECT_EQ(count.load(), N);
+}
+
+TEST(Runtime, NestedSpawnFromWorker) {
+  runtime rt(2);
+  std::atomic<int> count{0};
+  latch l(1 + 10);
+  rt.post([&] {
+    // Note: this task may execute on a worker thread or on the external
+    // thread helping via latch::wait — both are valid executions.
+    for (int i = 0; i < 10; ++i) {
+      rt.post([&] {
+        count.fetch_add(1);
+        l.count_down();
+      });
+    }
+    l.count_down();
+  });
+  l.wait(rt);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Runtime, ExternalThreadIsNotWorker) {
+  runtime rt(1);
+  EXPECT_FALSE(rt.on_worker_thread());
+  EXPECT_EQ(rt.worker_index(), -1);
+}
+
+TEST(Runtime, HelpingWaitAvoidsDeadlockOnOneWorker) {
+  // A worker blocking on a future whose producer is behind it in the queue
+  // would deadlock a naive pool; the helping wait must run it.
+  runtime rt(1);
+  auto outer = async(
+      [&] {
+        auto inner = async([] { return 7; }, rt);
+        return inner.get(rt) + 1;
+      },
+      rt);
+  EXPECT_EQ(outer.get(rt), 8);
+}
+
+TEST(Runtime, DeeplyNestedWaits) {
+  runtime rt(1);
+  // 20 levels of nested async+get on a single worker.
+  std::function<int(int)> nest = [&](int depth) -> int {
+    if (depth == 0) return 1;
+    auto f = async([&nest, depth] { return nest(depth - 1) + 1; }, rt);
+    return f.get(rt);
+  };
+  EXPECT_EQ(nest(20), 21);
+}
+
+TEST(Runtime, StatsCountTasks) {
+  runtime rt(2);
+  const auto before = rt.stats();
+  latch l(100);
+  for (int i = 0; i < 100; ++i) rt.post([&] { l.count_down(); });
+  l.wait(rt);
+  const auto after = rt.stats();
+  EXPECT_GE(after.tasks_executed - before.tasks_executed, 100u);
+  EXPECT_GE(after.external_posts, 100u);
+}
+
+TEST(Runtime, GlobalOverride) {
+  runtime rt(2);
+  {
+    scoped_global_runtime guard(rt);
+    EXPECT_EQ(&runtime::global(), &rt);
+  }
+  EXPECT_NE(&runtime::global(), &rt);
+}
+
+TEST(Runtime, TryRunOneFromExternalThread) {
+  runtime rt(1);
+  // Stall the single worker so the external thread can win the race.
+  event release;
+  rt.post([&] { release.wait(rt); });
+  std::atomic<bool> ran{false};
+  rt.post([&] { ran.store(true); });
+  // The external thread helps: eventually executes the second task (or the
+  // worker does after release).
+  release.set();
+  while (!ran.load()) {
+    rt.try_run_one();
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Runtime, DestructorDrainsCleanly) {
+  std::atomic<int> executed{0};
+  {
+    runtime rt(2);
+    latch l(50);
+    for (int i = 0; i < 50; ++i)
+      rt.post([&] {
+        executed.fetch_add(1);
+        l.count_down();
+      });
+    l.wait(rt);
+  }  // destructor joins workers
+  EXPECT_EQ(executed.load(), 50);
+}
+
+}  // namespace
+}  // namespace octo::amt

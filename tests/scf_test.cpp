@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scf/binary_scf.hpp"
+#include "scf/lane_emden.hpp"
+
+namespace octo::scf {
+namespace {
+
+constexpr real pi = 3.14159265358979323846;
+
+TEST(LaneEmden, ExactSolutionN0) {
+  // n = 0: theta = 1 - xi^2/6, xi1 = sqrt(6).
+  const auto s = solve_lane_emden(0.0);
+  EXPECT_NEAR(s.xi1, std::sqrt(6.0), 1e-6);
+  EXPECT_NEAR(s.theta_at(1.0), 1.0 - 1.0 / 6.0, 1e-6);
+}
+
+TEST(LaneEmden, ExactSolutionN1) {
+  // n = 1: theta = sin(xi)/xi, xi1 = pi, theta'(xi1) = -1/pi.
+  const auto s = solve_lane_emden(1.0);
+  EXPECT_NEAR(s.xi1, pi, 1e-6);
+  EXPECT_NEAR(s.dtheta_dxi1, -1.0 / pi, 1e-6);
+  EXPECT_NEAR(s.theta_at(1.5), std::sin(1.5) / 1.5, 1e-5);
+}
+
+TEST(LaneEmden, N32StandardValues) {
+  // tabulated: xi1 ~ 3.65375, xi1^2 |theta'| ~ 2.71406
+  const auto s = solve_lane_emden(1.5);
+  EXPECT_NEAR(s.xi1, 3.65375, 1e-3);
+  EXPECT_NEAR(s.xi1 * s.xi1 * std::abs(s.dtheta_dxi1), 2.71406, 1e-3);
+}
+
+TEST(LaneEmden, ThetaMonotoneDecreasing) {
+  const auto s = solve_lane_emden(3.0);
+  real prev = 1.1;
+  for (real q = 0; q < s.xi1; q += s.xi1 / 50) {
+    const real th = s.theta_at(q);
+    EXPECT_LT(th, prev + 1e-12);
+    prev = th;
+  }
+  EXPECT_DOUBLE_EQ(s.theta_at(s.xi1 + 1), 0.0);
+}
+
+TEST(Polytrope, MassRadiusRoundTrip) {
+  for (const real n : {1.0, 1.5, 3.0}) {
+    const auto p = make_polytrope(n, 2.5, 0.8);
+    EXPECT_NEAR(p.mass(), 2.5, 1e-4) << "n=" << n;
+    EXPECT_NEAR(p.radius(), 0.8, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(Polytrope, CentralDensityAndProfile) {
+  const auto p = make_polytrope(1.5, 1.0, 0.5);
+  EXPECT_NEAR(p.rho_at(0), p.rho_c, 1e-10);
+  EXPECT_GT(p.rho_at(0.2), p.rho_at(0.4));
+  EXPECT_DOUBLE_EQ(p.rho_at(0.6), 0.0);  // outside the star
+  EXPECT_GT(p.pressure_at(0.1), p.pressure_at(0.3));
+}
+
+TEST(Polytrope, MassIntegralMatchesProfile) {
+  // numerically integrate rho(r) and compare with mass()
+  const auto p = make_polytrope(1.5, 1.0, 0.5);
+  real m = 0;
+  const int nr = 2000;
+  const real dr = p.radius() / nr;
+  for (int i = 0; i < nr; ++i) {
+    const real r = (i + 0.5) * dr;
+    m += 4 * pi * r * r * p.rho_at(r) * dr;
+  }
+  EXPECT_NEAR(m, p.mass(), 2e-3);
+}
+
+struct ScfEnv : testing::Test {
+  amt::runtime rt{2};
+  amt::scoped_global_runtime guard{rt};
+};
+
+TEST_F(ScfEnv, DetachedBinaryEquilibrium) {
+  binary_scf_params bp;
+  bp.level = 2;
+  bp.max_iters = 40;
+  binary_scf scf(bp);
+  const auto r = scf.run();
+  EXPECT_GT(r.omega, 0);
+  EXPECT_GT(r.mass1, 0);
+  EXPECT_GT(r.mass2, 0);
+  // Omega within a factor ~1.5 of the Kepler frequency of the two centers
+  const real a = bp.xc2 - bp.xc1;
+  const real kepler = std::sqrt((r.mass1 + r.mass2) / (a * a * a));
+  EXPECT_GT(r.omega, kepler / 1.6);
+  EXPECT_LT(r.omega, kepler * 1.6);
+  // virial theorem approximately satisfied on the coarse grid
+  EXPECT_LT(r.virial_error, 0.2);
+  // density positive at the stellar centers, zero far outside
+  EXPECT_GT(scf.rho_at(rvec3{bp.xc1, 0, 0}), 0.1 * bp.rho_max1);
+  EXPECT_LT(scf.rho_at(rvec3{0.0, 0.9, 0.0}), 1e-6);
+}
+
+TEST_F(ScfEnv, ContactBinarySharedEnvelope) {
+  binary_scf_params bp;
+  bp.level = 2;
+  bp.contact = true;
+  bp.xc1 = real(-0.28);
+  bp.r1 = real(0.30);
+  bp.xc2 = real(0.30);
+  bp.r2 = real(0.28);
+  bp.rho_max2 = real(0.95);
+  bp.max_iters = 40;
+  binary_scf scf(bp);
+  const auto r = scf.run();
+  EXPECT_GT(r.omega, 0);
+  // contact: c1 == c2 by construction
+  EXPECT_DOUBLE_EQ(r.c1, r.c2);
+  // material present between the two centers (shared envelope)
+  EXPECT_GT(scf.rho_at(rvec3{0.0, 0, 0}), 0.0);
+}
+
+TEST_F(ScfEnv, ComponentAssignment) {
+  binary_scf_params bp;
+  bp.level = 1;
+  binary_scf scf(bp);
+  EXPECT_EQ(scf.component_at(rvec3{bp.xc1, 0, 0}), 0);
+  EXPECT_EQ(scf.component_at(rvec3{bp.xc2, 0, 0}), 1);
+}
+
+}  // namespace
+}  // namespace octo::scf

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "amt/runtime.hpp"
+#include "amt/sync.hpp"
+
+namespace octo::amt {
+namespace {
+
+TEST(Latch, CountsDownToReady) {
+  latch l(3);
+  EXPECT_FALSE(l.ready());
+  l.count_down();
+  l.count_down(2);
+  EXPECT_TRUE(l.ready());
+}
+
+TEST(Latch, WaitHelpsRuntime) {
+  runtime rt(1);
+  latch l(5);
+  for (int i = 0; i < 5; ++i) rt.post([&] { l.count_down(); });
+  l.wait(rt);  // must not deadlock even from the external thread
+  EXPECT_TRUE(l.ready());
+}
+
+TEST(Event, SetAndWait) {
+  runtime rt(1);
+  event e;
+  EXPECT_FALSE(e.is_set());
+  rt.post([&] { e.set(); });
+  e.wait(rt);
+  EXPECT_TRUE(e.is_set());
+}
+
+TEST(Spinlock, MutualExclusion) {
+  spinlock sl;
+  long long counter = 0;
+  constexpr int N = 50000;
+  auto work = [&] {
+    for (int i = 0; i < N; ++i) {
+      const std::lock_guard<spinlock> g(sl);
+      ++counter;
+    }
+  };
+  std::thread t1(work), t2(work);
+  work();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(counter, 3LL * N);
+}
+
+TEST(Spinlock, TryLock) {
+  spinlock sl;
+  EXPECT_TRUE(sl.try_lock());
+  EXPECT_FALSE(sl.try_lock());
+  sl.unlock();
+  EXPECT_TRUE(sl.try_lock());
+  sl.unlock();
+}
+
+}  // namespace
+}  // namespace octo::amt

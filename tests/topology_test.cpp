@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/random.hpp"
+#include "tree/topology.hpp"
+
+namespace octo::tree {
+namespace {
+
+refine_predicate uniform_to(int level) {
+  return [level](int lvl, const rvec3&, real) { return lvl < level; };
+}
+
+TEST(Topology, SingleNodeTree) {
+  topology t(1.0, 0, uniform_to(0));
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.num_leaves(), 1);
+  EXPECT_EQ(t.num_cells(), 512);
+  EXPECT_TRUE(t.node(0).leaf);
+  EXPECT_EQ(t.max_depth(), 0);
+}
+
+TEST(Topology, UniformCounts) {
+  for (int lvl = 0; lvl <= 3; ++lvl) {
+    topology t(1.0, lvl, uniform_to(lvl));
+    index_t leaves = 1;
+    index_t nodes = 1;
+    for (int l = 1; l <= lvl; ++l) {
+      leaves *= 8;
+      nodes += leaves;
+    }
+    EXPECT_EQ(t.num_leaves(), leaves) << "level " << lvl;
+    EXPECT_EQ(t.num_nodes(), nodes) << "level " << lvl;
+  }
+}
+
+TEST(Topology, GeometryCentersAndWidths) {
+  topology t(2.0, 1, uniform_to(1));
+  EXPECT_DOUBLE_EQ(t.domain_half_width(), 2.0);
+  EXPECT_EQ(t.center(0), (rvec3{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(t.node_half_width(0), 2.0);
+  // first child spans the (-,-,-) octant
+  const index_t c0 = t.node(0).children[0];
+  EXPECT_EQ(t.center(c0), (rvec3{-1, -1, -1}));
+  EXPECT_DOUBLE_EQ(t.node_half_width(c0), 1.0);
+  EXPECT_DOUBLE_EQ(t.cell_width(c0), 2.0 / SUBGRID_N);
+}
+
+TEST(Topology, LeavesInMortonOrder) {
+  topology t(1.0, 2, uniform_to(2));
+  const auto& leaves = t.leaves();
+  for (std::size_t i = 1; i < leaves.size(); ++i)
+    EXPECT_LT(t.node(leaves[i - 1]).code, t.node(leaves[i]).code);
+}
+
+TEST(Topology, FindExactAndEnclosing) {
+  topology t(1.0, 2, uniform_to(2));
+  for (index_t n = 0; n < t.num_nodes(); ++n)
+    EXPECT_EQ(t.find(t.node(n).code), n);
+  // a code below the deepest level resolves to its enclosing leaf
+  const code_t deep = code_child(t.node(t.leaves()[0]).code, 3);
+  EXPECT_EQ(t.find(deep), invalid_node);
+  EXPECT_EQ(t.find_enclosing(deep), t.leaves()[0]);
+}
+
+TEST(Topology, NeighborLinksAreSymmetric) {
+  topology t(1.0, 2, uniform_to(2));
+  for (index_t n = 0; n < t.num_nodes(); ++n)
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      const index_t nb = t.neighbor(n, d);
+      if (nb == invalid_node) continue;
+      EXPECT_EQ(t.neighbor(nb, dir_opposite(d)), n);
+      EXPECT_EQ(t.node(nb).level, t.node(n).level);
+    }
+}
+
+TEST(Topology, ParentChildConsistency) {
+  topology t(1.0, 2, uniform_to(2));
+  for (index_t n = 0; n < t.num_nodes(); ++n) {
+    const auto& nd = t.node(n);
+    if (nd.leaf) continue;
+    for (int oct = 0; oct < NCHILD; ++oct) {
+      const index_t c = nd.children[oct];
+      ASSERT_NE(c, invalid_node);
+      EXPECT_EQ(t.node(c).parent, n);
+      EXPECT_EQ(code_octant(t.node(c).code), oct);
+    }
+  }
+}
+
+/// Property over randomized refinement: the balanced tree never has two
+/// adjacent leaves differing by more than one level.
+class BalanceProperty : public testing::TestWithParam<int> {};
+
+TEST_P(BalanceProperty, TwoToOneEverywhere) {
+  xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  // Random blobs drive refinement.
+  struct blob {
+    rvec3 c;
+    real r;
+  };
+  std::vector<blob> blobs;
+  for (int b = 0; b < 3; ++b)
+    blobs.push_back({rvec3{rng.uniform(-0.7, 0.7), rng.uniform(-0.7, 0.7),
+                           rng.uniform(-0.7, 0.7)},
+                     rng.uniform(0.05, 0.3)});
+  const auto refine = [blobs](int, const rvec3& c, real hw) {
+    for (const auto& b : blobs) {
+      const rvec3 d = c - b.c;
+      if (norm(d) < b.r + hw * real(1.7)) return true;
+    }
+    return false;
+  };
+  topology t(1.0, 4, refine);
+  EXPECT_GT(t.num_leaves(), 1);
+  for (const index_t leaf : t.leaves()) {
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      if (t.neighbor(leaf, d) != invalid_node) continue;
+      const index_t host = t.neighbor_or_coarser(leaf, d);
+      if (host == invalid_node) continue;  // domain boundary
+      EXPECT_TRUE(t.node(host).leaf);
+      EXPECT_EQ(t.node(host).level, t.node(leaf).level - 1)
+          << "2:1 balance violated at leaf " << leaf << " dir " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalanceProperty,
+                         testing::Values(1, 2, 3, 7, 11, 23));
+
+TEST(Topology, NeighborOrCoarserOnUniformTree) {
+  topology t(1.0, 2, uniform_to(2));
+  for (const index_t leaf : t.leaves())
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      const index_t same = t.neighbor(leaf, d);
+      EXPECT_EQ(t.neighbor_or_coarser(leaf, d), same);
+    }
+}
+
+TEST(Topology, StatsConsistent) {
+  topology t(1.0, 3, uniform_to(3));
+  const auto s = t.stats();
+  EXPECT_EQ(s.leaves, t.num_leaves());
+  EXPECT_EQ(s.nodes, t.num_nodes());
+  EXPECT_EQ(s.cells, t.num_leaves() * 512);
+  index_t total = 0;
+  for (const auto c : s.leaves_per_level) total += c;
+  EXPECT_EQ(total, s.leaves);
+}
+
+TEST(Topology, NodesAtLevel) {
+  topology t(1.0, 2, uniform_to(2));
+  EXPECT_EQ(t.nodes_at_level(0).size(), 1u);
+  EXPECT_EQ(t.nodes_at_level(1).size(), 8u);
+  EXPECT_EQ(t.nodes_at_level(2).size(), 64u);
+}
+
+}  // namespace
+}  // namespace octo::tree

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "amt/unique_function.hpp"
+
+namespace octo::amt {
+namespace {
+
+TEST(UniqueFunction, EmptyAndBool) {
+  unique_function<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = [] {};
+  EXPECT_TRUE(static_cast<bool>(f));
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesSmallLambda) {
+  int hits = 0;
+  unique_function<void()> f = [&hits] { ++hits; };
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, ReturnsValueAndTakesArgs) {
+  unique_function<int(int, int)> f = [](int a, int b) { return a * b; };
+  EXPECT_EQ(f(6, 7), 42);
+}
+
+TEST(UniqueFunction, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(99);
+  unique_function<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 99);
+}
+
+TEST(UniqueFunction, LargeCaptureUsesHeap) {
+  // Capture bigger than the SBO buffer still works.
+  struct big {
+    char data[256];
+  };
+  big b{};
+  b.data[0] = 'x';
+  b.data[255] = 'y';
+  unique_function<char()> f = [b] { return static_cast<char>(b.data[0] + b.data[255] - 'y'); };
+  EXPECT_EQ(f(), 'x');
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  unique_function<void()> f = [&hits] { ++hits; };
+  unique_function<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT: moved-from check
+  EXPECT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveAssignDestroysOld) {
+  auto counter = std::make_shared<int>(0);
+  struct bump_on_destroy {
+    std::shared_ptr<int> c;
+    ~bump_on_destroy() {
+      if (c) ++*c;
+    }
+    bump_on_destroy(std::shared_ptr<int> cc) : c(std::move(cc)) {}
+    bump_on_destroy(bump_on_destroy&&) = default;
+    void operator()() {}
+  };
+  unique_function<void()> f = bump_on_destroy(counter);
+  unique_function<void()> g = [] {};
+  const int before = *counter;
+  f = std::move(g);  // destroys the bump_on_destroy target
+  EXPECT_EQ(*counter, before + 1);
+}
+
+TEST(UniqueFunction, DestructorReleasesCapture) {
+  auto tracked = std::make_shared<int>(5);
+  {
+    unique_function<void()> f = [tracked] { (void)tracked; };
+    EXPECT_EQ(tracked.use_count(), 2);
+  }
+  EXPECT_EQ(tracked.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace octo::amt

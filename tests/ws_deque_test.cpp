@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "amt/ws_deque.hpp"
+
+namespace octo::amt {
+namespace {
+
+TEST(WsDeque, OwnerLifoOrder) {
+  ws_deque<int> dq(4);
+  int items[3] = {1, 2, 3};
+  for (auto& i : items) dq.push(&i);
+  EXPECT_EQ(*dq.pop(), 3);
+  EXPECT_EQ(*dq.pop(), 2);
+  EXPECT_EQ(*dq.pop(), 1);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WsDeque, ThiefFifoOrder) {
+  ws_deque<int> dq(4);
+  int items[3] = {1, 2, 3};
+  for (auto& i : items) dq.push(&i);
+  EXPECT_EQ(*dq.steal(), 1);
+  EXPECT_EQ(*dq.steal(), 2);
+  EXPECT_EQ(*dq.steal(), 3);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(WsDeque, GrowthPreservesContents) {
+  ws_deque<int> dq(2);  // force several growths
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) {
+    items[static_cast<std::size_t>(i)] = i;
+    dq.push(&items[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(dq.size_estimate(), 100);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(*dq.pop(), i);
+}
+
+TEST(WsDeque, MixedPushPopSteal) {
+  ws_deque<int> dq(4);
+  int a = 1, b = 2, c = 3;
+  dq.push(&a);
+  dq.push(&b);
+  EXPECT_EQ(*dq.steal(), 1);
+  dq.push(&c);
+  EXPECT_EQ(*dq.pop(), 3);
+  EXPECT_EQ(*dq.pop(), 2);
+  EXPECT_TRUE(dq.empty_estimate());
+}
+
+TEST(WsDeque, ConcurrentStealersReceiveEachItemOnce) {
+  // Owner pushes N items while thieves steal; every item must be obtained
+  // exactly once across owner pops and thief steals.
+  constexpr int N = 20000;
+  ws_deque<int> dq(64);
+  std::vector<int> items(N);
+  std::atomic<int> received{0};
+  std::vector<std::atomic<int>> seen(N);
+  for (auto& s : seen) s.store(0);
+
+  std::atomic<bool> done{false};
+  auto thief_fn = [&] {
+    while (!done.load(std::memory_order_acquire) ||
+           !dq.empty_estimate()) {
+      if (int* v = dq.steal()) {
+        seen[static_cast<std::size_t>(*v)].fetch_add(1);
+        received.fetch_add(1);
+      }
+    }
+  };
+  std::thread t1(thief_fn), t2(thief_fn);
+
+  for (int i = 0; i < N; ++i) {
+    items[static_cast<std::size_t>(i)] = i;
+    dq.push(&items[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* v = dq.pop()) {
+        seen[static_cast<std::size_t>(*v)].fetch_add(1);
+        received.fetch_add(1);
+      }
+    }
+  }
+  // Owner drains what is left.
+  while (int* v = dq.pop()) {
+    seen[static_cast<std::size_t>(*v)].fetch_add(1);
+    received.fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  t1.join();
+  t2.join();
+  // Thieves may have gotten the last items after empty_estimate flickers;
+  // drain once more.
+  while (int* v = dq.steal()) {
+    seen[static_cast<std::size_t>(*v)].fetch_add(1);
+    received.fetch_add(1);
+  }
+
+  EXPECT_EQ(received.load(), N);
+  for (int i = 0; i < N; ++i)
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+}
+
+}  // namespace
+}  // namespace octo::amt
