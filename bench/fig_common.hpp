@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "apex/apex.hpp"
 #include "common/table.hpp"
 #include "des/workload.hpp"
 #include "machine/spec.hpp"
@@ -28,6 +29,14 @@ inline void header(const std::string& title, const std::string& paper_claim) {
 
 inline void check(bool ok, const std::string& what) {
   std::printf("[%s] %s\n", ok ? "PASS" : "CHECK", what.c_str());
+}
+
+/// Dump the apex registry after a measured (non-DES) section, so each
+/// figure bench also shows the live counters backing its model
+/// (EXPERIMENTS.md maps counters to figures).
+inline void apex_report(const std::string& what) {
+  std::printf("\napex registry after %s:\n", what.c_str());
+  apex::registry::instance().report(std::cout);
 }
 
 /// Scale factor between the paper's workload and the tree we can hold in

@@ -1,14 +1,19 @@
 /// Quickstart: build a rotating-star simulation, run a few coupled
 /// hydro+gravity steps on the AMT runtime, watch the conservation ledger,
-/// and round-trip a checkpoint.
+/// and round-trip a checkpoint.  Exits with the apex phase profile and the
+/// paper's headline metric (processed sub-grid cells/second).
 ///
 ///   ./quickstart [level=2] [steps=5] [threads=4] [simd=true]
+///                [trace=out.json] [metrics=out.jsonl]
+///   (or OCTO_TRACE= / OCTO_METRICS= in the environment)
 
 #include <cstdio>
 
 #include <iostream>
 
 #include "apex/apex.hpp"
+#include "apex/metrics.hpp"
+#include "apex/trace.hpp"
 #include "app/checkpoint.hpp"
 #include "app/simulation.hpp"
 #include "common/config.hpp"
@@ -16,11 +21,20 @@
 
 int main(int argc, char** argv) {
   using namespace octo;
-  const auto cfg = config::from_args(argc, argv);
+  auto cfg = config::from_args(argc, argv);
+  cfg.merge_env({"trace", "metrics"});
   const int level = cfg.get("level", 2);
   const int steps = cfg.get("steps", 5);
   const int threads = cfg.get("threads", 4);
   const bool simd = cfg.get("simd", true);
+
+  const auto trace_path = cfg.get("trace", std::string());
+  if (!trace_path.empty()) apex::trace::instance().enable(trace_path);
+  apex::metrics_sink metrics;
+  const auto metrics_path = cfg.get("metrics", std::string());
+  if (!metrics_path.empty() && !metrics.open(metrics_path))
+    std::fprintf(stderr, "cannot open metrics sink %s\n",
+                 metrics_path.c_str());
 
   amt::runtime rt(static_cast<unsigned>(threads));
   amt::scoped_global_runtime guard(rt);
@@ -32,6 +46,7 @@ int main(int argc, char** argv) {
   opt.gravity.use_simd = simd;
 
   app::simulation sim(sc, opt);
+  if (metrics.is_open()) sim.set_metrics_sink(&metrics);
   stopwatch init_watch;
   sim.initialize();
   const auto ts = sim.topo().stats();
@@ -57,14 +72,19 @@ int main(int argc, char** argv) {
         lg.ang_momentum.z);
   }
   const double elapsed = run_watch.seconds();
-  std::printf("\n%d steps in %.2fs — %.3g cells/s on %d threads\n", steps,
-              elapsed,
+  std::printf("\n%d steps in %.2fs — %.3g cells/s on %d threads "
+              "(last step: %.3g cells/s)\n",
+              steps, elapsed,
               static_cast<double>(sim.num_cells()) * steps / elapsed,
-              threads);
+              threads, sim.last_step_metrics().cells_per_sec);
   const auto st = rt.stats();
-  std::printf("runtime: %llu tasks executed, %llu steals\n",
+  std::printf("runtime: %llu tasks executed, %llu steals, "
+              "%.1f ms worker idle, queue high-water %llu\n",
               static_cast<unsigned long long>(st.tasks_executed),
-              static_cast<unsigned long long>(st.steals));
+              static_cast<unsigned long long>(st.steals),
+              static_cast<double>(st.idle_ns) * 1e-6,
+              static_cast<unsigned long long>(st.queue_high_water));
+  rt.export_apex_counters();
 
   // Checkpoint round trip (our Silo/HDF5 stand-in).
   const std::string ckpt = "quickstart.ckpt";
@@ -78,5 +98,16 @@ int main(int argc, char** argv) {
   // Phase profile from the built-in APEX-style instrumentation ([38]).
   std::printf("\nphase profile:\n");
   apex::registry::instance().report(std::cout);
+
+  if (metrics.is_open())
+    std::printf("\nmetrics: %llu step records -> %s\n",
+                static_cast<unsigned long long>(metrics.records_emitted()),
+                metrics.path().c_str());
+  if (!trace_path.empty() && apex::trace::instance().write_to_file())
+    std::printf("trace: %llu events -> %s (open in Perfetto / "
+                "chrome://tracing)\n",
+                static_cast<unsigned long long>(
+                    apex::trace::instance().captured()),
+                trace_path.c_str());
   return 0;
 }

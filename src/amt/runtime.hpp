@@ -32,6 +32,10 @@ struct runtime_stats {
   std::uint64_t steals = 0;
   std::uint64_t failed_steals = 0;
   std::uint64_t external_posts = 0;
+  std::uint64_t helping_runs = 0;      ///< tasks run inside blocking waits
+  std::uint64_t idle_ns = 0;           ///< summed worker time with no work
+  std::uint64_t queue_high_water = 0;  ///< deepest local deque observed
+  std::uint64_t max_pending = 0;       ///< high-water of in-flight tasks
 };
 
 class runtime {
@@ -61,6 +65,12 @@ class runtime {
 
   runtime_stats stats() const;
 
+  /// Publish the stats delta since the last export as apex counters
+  /// (`amt.tasks_executed`, `amt.steals`, ... — the HPX/APEX performance
+  /// counters of the paper's §VIII).  Idempotent across repeated calls:
+  /// each increment is exported exactly once.
+  void export_apex_counters();
+
   /// Process-wide default runtime; created on first use with
   /// hardware_concurrency() workers (override with set_global()).
   static runtime& global();
@@ -74,9 +84,12 @@ class runtime {
     explicit worker(int idx) : index(idx) {}
     int index;
     ws_deque<task_fn> deque;
-    std::uint64_t executed = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t failed_steals = 0;
+    // Owner-written, sampled concurrently by stats(): relaxed atomics.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> failed_steals{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> queue_high_water{0};
     std::uint64_t rng_state = 0;
   };
 
@@ -92,6 +105,10 @@ class runtime {
   std::deque<task_fn*> injected_;
   std::atomic<std::uint64_t> external_posts_{0};
   std::atomic<std::uint64_t> external_executed_{0};  ///< helping-wait runs
+  std::atomic<std::uint64_t> max_pending_{0};
+
+  std::mutex export_mutex_;       ///< guards last_exported_
+  runtime_stats last_exported_{};  ///< snapshot at last apex export
 
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;

@@ -53,7 +53,11 @@ class ws_deque {
     }
     buf->put(b, item);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store instead of the paper's fence+relaxed store: TSan does
+    // not model fences, and the release edge pairing with steal()'s
+    // acquire load of bottom_ is what publishes the item payload.  The
+    // store-release costs nothing on x86 and one stlr on aarch64.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only.  Returns nullptr if empty.

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "apex/metrics.hpp"
 #include "common/types.hpp"
 #include "exec/execution_space.hpp"
 #include "gravity/solver.hpp"
@@ -89,6 +90,15 @@ class simulation {
 
   const sim_options& options() const { return opt_; }
 
+  /// Attach a metrics sink: every step() then emits one structured record
+  /// (per-phase wall times, processed sub-grid cells/second).  The sink
+  /// must outlive the simulation; pass nullptr to detach.
+  void set_metrics_sink(apex::metrics_sink* sink) { metrics_ = sink; }
+
+  /// Observability record of the most recent step() (valid once
+  /// steps_taken() > 0), whether or not a sink is attached.
+  const apex::step_record& last_step_metrics() const { return last_metrics_; }
+
  private:
   void exchange_ghosts();
   void solve_gravity();
@@ -110,6 +120,14 @@ class simulation {
   real dt_ = 0;
   int steps_ = 0;
   bool initialized_ = false;
+
+  apex::metrics_sink* metrics_ = nullptr;
+  apex::step_record last_metrics_{};
+  /// Wall seconds per phase, accumulated across the current step's RK
+  /// stages and zeroed at step() entry.
+  double phase_exchange_s_ = 0;
+  double phase_gravity_s_ = 0;
+  double phase_hydro_s_ = 0;
 };
 
 }  // namespace octo::app

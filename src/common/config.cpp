@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -46,6 +47,24 @@ config config::from_file(const std::string& path) {
     if (!key.empty()) c.set(key, val);
   }
   return c;
+}
+
+std::optional<std::string> config::env(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || v[0] == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+config& config::merge_env(const std::vector<std::string>& names,
+                          const std::string& prefix) {
+  for (const auto& key : names) {
+    if (has(key)) continue;
+    std::string var = prefix;
+    for (const char c : key)
+      var += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (const auto v = env(var)) set(key, *v);
+  }
+  return *this;
 }
 
 void config::set(const std::string& key, const std::string& value) {

@@ -23,6 +23,15 @@ class config {
   /// Parse a file of `key = value` lines ('#' starts a comment).
   static config from_file(const std::string& path);
 
+  /// Read one environment variable (nullopt when unset or empty).
+  static std::optional<std::string> env(const std::string& name);
+
+  /// Import `<prefix>FOO=bar` environment variables as key `foo` = `bar`
+  /// (prefix stripped, key lowercased).  Existing keys win, so command-line
+  /// `key=value` tokens override the environment.  Returns *this.
+  config& merge_env(const std::vector<std::string>& names,
+                    const std::string& prefix = "OCTO_");
+
   void set(const std::string& key, const std::string& value);
 
   bool has(const std::string& key) const;

@@ -4,6 +4,8 @@
 #include <atomic>
 
 #include "amt/future.hpp"
+#include "apex/apex.hpp"
+#include "apex/trace.hpp"
 #include "common/error.hpp"
 #include "dist/serialize.hpp"
 
@@ -71,7 +73,27 @@ grid::subgrid& cluster::leaf(index_t node) {
   return grids_[node];
 }
 
+namespace {
+/// Apex counters mirroring exchange_stats — the measured series behind
+/// Fig. 8 (serialized-vs-direct ghost-slab traffic).
+struct exchange_counters {
+  apex::metric_id local_direct =
+      apex::registry::instance().counter("dist.local_direct_slabs");
+  apex::metric_id local_serialized =
+      apex::registry::instance().counter("dist.local_serialized_slabs");
+  apex::metric_id remote =
+      apex::registry::instance().counter("dist.remote_messages");
+  apex::metric_id bytes =
+      apex::registry::instance().counter("dist.bytes_serialized");
+};
+exchange_counters& counters() {
+  static exchange_counters c;
+  return c;
+}
+}  // namespace
+
 void cluster::exchange_ghosts() {
+  const apex::scoped_trace_span trace_span("dist.exchange_ghosts");
   auto& rt = space_.runtime();
 
   // Phase 1: restriction into interior sub-grids (barrier per level).
@@ -124,6 +146,7 @@ void cluster::exchange_ghosts() {
     for (const index_t l : topo_->leaves()) {
       send_futs.push_back(amt::async(
           [this, l, &ld, &ls, &rm, &by] {
+            const apex::scoped_trace_span span("dist.exchange.send");
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(l, d);
               if (nb == tree::invalid_node || !topo_->node(nb).leaf)
@@ -169,6 +192,7 @@ void cluster::exchange_ghosts() {
             leaf_slot_[l] * NNEIGHBOR + d)];
         recv_futs.push_back(ch.receive().then(
             [this, l, d](boundary_msg msg) {
+              const apex::scoped_trace_span span("dist.exchange.unpack");
               if (msg.direct) {
                 grids_[l].copy_ghost_direct(d, *msg.src);
               } else {
@@ -189,6 +213,13 @@ void cluster::exchange_ghosts() {
     stats_.local_serialized += ls.load();
     stats_.remote_messages += rm.load();
     stats_.bytes_serialized += by.load();
+    // Mirror this exchange's deltas into apex counters so the Fig. 8
+    // traffic split is visible in any registry report.
+    auto& reg = apex::registry::instance();
+    reg.add(counters().local_direct, ld.load());
+    reg.add(counters().local_serialized, ls.load());
+    reg.add(counters().remote, rm.load());
+    reg.add(counters().bytes, by.load());
   }
 
   // Phase 3: coarse-to-fine prolongation (barrier per level).
@@ -260,6 +291,7 @@ void cluster::hydro_stage(real dt, real ca, real cb) {
 
 real cluster::step() {
   OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  const apex::scoped_trace_span trace_span("dist.step");
   const real dt = dt_;
   {
     std::vector<amt::future<void>> futs;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "amt/future.hpp"
+#include "apex/trace.hpp"
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
 
@@ -678,7 +679,12 @@ void fmm_solver::solve(const exec::amt_space& space) {
     std::vector<amt::future<void>> futs;
     for (const index_t n : lv) {
       if (topo_.node(n).leaf) continue;
-      futs.push_back(amt::async([this, n] { compute_m2m(n); }, rt));
+      futs.push_back(amt::async(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.m2m");
+            compute_m2m(n);
+          },
+          rt));
     }
     amt::wait_all(futs, rt);
   }
@@ -689,9 +695,14 @@ void fmm_solver::solve(const exec::amt_space& space) {
     std::vector<amt::future<void>> futs;
     for (index_t n = 0; n < topo_.num_nodes(); ++n) {
       for (int c = 0; c < nchunks; ++c) {
-        futs.push_back(
-            amt::async([this, n, c, nchunks] { compute_m2l(n, c, nchunks); },
-                       rt));
+        futs.push_back(amt::async(
+            [this, n, c, nchunks] {
+              // The Multipole-kernel launch of §VII-C — with m2l_chunks > 1
+              // one launch shows up as several shorter spans (Fig. 9).
+              const apex::scoped_trace_span span("gravity.m2l");
+              compute_m2l(n, c, nchunks);
+            },
+            rt));
       }
     }
     amt::wait_all(futs, rt);
@@ -701,7 +712,12 @@ void fmm_solver::solve(const exec::amt_space& space) {
   {
     std::vector<amt::future<void>> futs;
     for (const index_t n : topo_.leaves())
-      futs.push_back(amt::async([this, n] { compute_fine_coarse(n); }, rt));
+      futs.push_back(amt::async(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.fine_coarse");
+            compute_fine_coarse(n);
+          },
+          rt));
     amt::wait_all(futs, rt);
   }
 
@@ -709,7 +725,12 @@ void fmm_solver::solve(const exec::amt_space& space) {
   for (std::size_t lvl = 1; lvl < levels_.size(); ++lvl) {
     std::vector<amt::future<void>> futs;
     for (const index_t n : levels_[lvl])
-      futs.push_back(amt::async([this, n] { compute_l2l(n); }, rt));
+      futs.push_back(amt::async(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.l2l");
+            compute_l2l(n);
+          },
+          rt));
     amt::wait_all(futs, rt);
   }
 
@@ -717,7 +738,12 @@ void fmm_solver::solve(const exec::amt_space& space) {
   {
     std::vector<amt::future<void>> futs;
     for (const index_t n : topo_.leaves())
-      futs.push_back(amt::async([this, n] { evaluate_leaf(n); }, rt));
+      futs.push_back(amt::async(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.evaluate_leaf");
+            evaluate_leaf(n);
+          },
+          rt));
     amt::wait_all(futs, rt);
   }
 }

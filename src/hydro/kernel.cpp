@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apex/trace.hpp"
 #include "common/error.hpp"
 #include "simd/simd.hpp"
 
@@ -345,6 +346,8 @@ workspace::workspace() {
 void flux_divergence(const subgrid& u, const hydro_options& opt,
                      workspace& ws, std::span<real> dudt) {
   OCTO_ASSERT(dudt.size() == static_cast<std::size_t>(dudt_size));
+  // The paper's "Reconstruct + Flux" Kokkos kernel; one span per sub-grid.
+  const apex::scoped_trace_span span("hydro.flux_divergence");
   if (opt.use_simd) {
     flux_divergence_impl<vector_pack>(u, opt.gas, opt.riemann, opt.limiter,
                                       ws, dudt.data());

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "apex/apex.hpp"
 
@@ -87,6 +90,94 @@ TEST(Apex, ConcurrentSamplesAllCounted) {
   for (const auto& t : r.timers())
     if (t.name == "apex_test.concurrent")
       EXPECT_EQ(t.calls, 3u * per_thread);
+}
+
+// The seed kept slots in a std::vector, so a sample() concurrent with a
+// registration could read through a reallocated buffer.  Hammer
+// registration + sampling + snapshotting together; under TSan this is the
+// regression test for the chunked-slot storage.
+TEST(Apex, ConcurrentRegistrationSamplingSnapshot) {
+  auto& r = registry::instance();
+  constexpr int n_register = 300;  // crosses several 64-slot chunks
+  constexpr int n_samples = 5000;
+  std::atomic<bool> stop{false};
+
+  std::thread registrar([&] {
+    for (int i = 0; i < n_register; ++i) {
+      const auto t = r.timer("apex_test.stress.t" + std::to_string(i));
+      r.sample(t, 1e-7);
+      const auto c = r.counter("apex_test.stress.c" + std::to_string(i));
+      r.add(c, 1);
+    }
+    stop.store(true);
+  });
+
+  const auto hot_timer = r.timer("apex_test.stress.hot");
+  const auto hot_counter = r.counter("apex_test.stress.hot");
+  auto sampler = [&] {
+    for (int i = 0; i < n_samples; ++i) {
+      r.sample(hot_timer, 1e-6);
+      r.add(hot_counter, 1);
+    }
+  };
+  std::thread s1(sampler), s2(sampler);
+
+  std::uint64_t snapshots = 0;
+  do {  // at least one snapshot even if the registrar already finished
+    (void)r.timers();
+    (void)r.counters();
+    ++snapshots;
+  } while (!stop.load());
+
+  registrar.join();
+  s1.join();
+  s2.join();
+  EXPECT_GE(snapshots, 1u);
+
+  std::uint64_t hot_calls = 0, hot_value = 0;
+  int stress_timers = 0;
+  for (const auto& t : r.timers()) {
+    if (t.name == "apex_test.stress.hot") hot_calls = t.calls;
+    if (t.name.rfind("apex_test.stress.t", 0) == 0) ++stress_timers;
+  }
+  for (const auto& c : r.counters())
+    if (c.name == "apex_test.stress.hot") hot_value = c.value;
+  EXPECT_EQ(hot_calls, 2u * n_samples);
+  EXPECT_EQ(hot_value, 2u * n_samples);
+  EXPECT_EQ(stress_timers, n_register);
+}
+
+// p50/p95 come from the log2 histogram: two well-separated populations
+// must land in the right order of magnitude.
+TEST(Apex, PercentilesSeparatePopulations) {
+  auto& r = registry::instance();
+  const auto id = r.timer("apex_test.percentile");
+  // 90 fast samples (~1 us) and 10 slow ones (~16 ms): the nearest-rank
+  // p95 (rank 95 of 100) must land in the slow population.
+  for (int i = 0; i < 90; ++i) r.sample(id, 1e-6);
+  for (int i = 0; i < 10; ++i) r.sample(id, 16e-3);
+  for (const auto& t : r.timers()) {
+    if (t.name != "apex_test.percentile") continue;
+    EXPECT_GT(t.p50_seconds, 1e-7);  // log2 bucket around 1 us
+    EXPECT_LT(t.p50_seconds, 1e-5);
+    EXPECT_GT(t.p95_seconds, 1e-3);  // pulled up by the slow tail
+    EXPECT_GE(t.p95_seconds, t.p50_seconds);
+    EXPECT_LE(t.p50_seconds, t.max_seconds);
+  }
+}
+
+// The report groups dotted names under a common header.
+TEST(Apex, ReportGroupsHierarchically) {
+  auto& r = registry::instance();
+  { scoped_timer t(r.timer("apexgrp.alpha")); }
+  { scoped_timer t(r.timer("apexgrp.beta")); }
+  std::ostringstream os;
+  r.report(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("[apexgrp]"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("p95"), std::string::npos);
 }
 
 }  // namespace

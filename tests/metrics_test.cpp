@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apex/metrics.hpp"
+#include "app/simulation.hpp"
+
+namespace octo::apex {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST(Metrics, FinalizeComputesCellsPerSecond) {
+  step_record rec;
+  rec.cells = 4096;
+  rec.step_seconds = 0.5;
+  rec.finalize();
+  EXPECT_DOUBLE_EQ(rec.cells_per_sec, 8192.0);
+  rec.step_seconds = 0;
+  rec.finalize();
+  EXPECT_DOUBLE_EQ(rec.cells_per_sec, 0.0);  // no division by zero
+}
+
+TEST(Metrics, ClosedSinkIsNoOp) {
+  metrics_sink sink;
+  EXPECT_FALSE(sink.is_open());
+  sink.emit(step_record{});
+  EXPECT_EQ(sink.records_emitted(), 0u);
+}
+
+TEST(Metrics, JsonlRoundTrip) {
+  const std::string path = "metrics_test_out.jsonl";
+  metrics_sink sink;
+  ASSERT_TRUE(sink.open(path));  // non-.csv extension -> JSONL
+  step_record rec;
+  rec.step = 1;
+  rec.time = 0.25;
+  rec.dt = 0.25;
+  rec.step_seconds = 0.125;
+  rec.subgrids = 8;
+  rec.cells = 8 * 512;
+  rec.finalize();
+  sink.emit(rec);
+  rec.step = 2;
+  sink.emit(rec);
+  sink.close();
+  EXPECT_EQ(sink.records_emitted(), 2u);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(line.find("\"cells\":4096"), std::string::npos);
+    EXPECT_NE(line.find("\"cells_per_sec\":"), std::string::npos);
+    EXPECT_NE(line.find("\"exchange_seconds\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"step\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"step\":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, CsvHeaderAndRows) {
+  const std::string path = "metrics_test_out.csv";
+  metrics_sink sink;
+  ASSERT_TRUE(sink.open(path));  // .csv extension -> CSV
+  step_record rec;
+  rec.step = 1;
+  rec.cells = 100;
+  rec.step_seconds = 0.1;
+  rec.finalize();
+  sink.emit(rec);
+  sink.close();
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);  // header + one row
+  EXPECT_NE(lines[0].find("step"), std::string::npos);
+  EXPECT_NE(lines[0].find("cells_per_sec"), std::string::npos);
+  EXPECT_EQ(lines[1].front(), '1');
+  std::remove(path.c_str());
+}
+
+// A tiny simulation must produce one record per step whose cell counts
+// match the tree and whose cells/second is consistent (the paper's
+// headline "processed sub-grid cells per second" metric).
+TEST(Metrics, SimulationEmitsConsistentRecords) {
+  amt::runtime rt(3);
+  amt::scoped_global_runtime guard(rt);
+
+  auto sc = scen::rotating_star();
+  app::sim_options opt;
+  opt.max_level = 1;
+  app::simulation sim(sc, opt);
+
+  const std::string path = "metrics_test_sim.jsonl";
+  metrics_sink sink;
+  ASSERT_TRUE(sink.open(path));
+  sim.set_metrics_sink(&sink);
+
+  sim.initialize();
+  sim.step();
+  sim.step();
+  sink.close();
+
+  EXPECT_EQ(sink.records_emitted(), 2u);
+  const auto& m = sim.last_step_metrics();
+  EXPECT_EQ(m.step, 2);
+  EXPECT_EQ(m.subgrids, static_cast<std::uint64_t>(sim.num_leaves()));
+  EXPECT_EQ(m.cells, static_cast<std::uint64_t>(sim.num_cells()));
+  EXPECT_GT(m.step_seconds, 0);
+  EXPECT_GT(m.dt, 0);
+  EXPECT_GT(m.cells_per_sec, 0);
+  EXPECT_NEAR(m.cells_per_sec,
+              static_cast<double>(m.cells) / m.step_seconds,
+              1e-6 * m.cells_per_sec);
+  // Phase times are measured and bounded by the whole step.
+  EXPECT_GT(m.exchange_seconds + m.gravity_seconds + m.hydro_seconds, 0);
+  EXPECT_LE(m.exchange_seconds, m.step_seconds);
+  EXPECT_LE(m.gravity_seconds, m.step_seconds);
+  EXPECT_LE(m.hydro_seconds, m.step_seconds);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"step\":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace octo::apex
