@@ -386,4 +386,25 @@ void wait_all(std::vector<future<T>>& futures,
   for (auto& f : futures) f.wait(rt);
 }
 
+/// Wait for every future, then rethrow the first exception any of them
+/// holds.  Unlike wait_all(), a task failure is not silently dropped —
+/// fault-detection paths (e.g. ghost-slab checksum mismatches) use this so
+/// corruption fails the whole exchange loudly.  All futures are drained
+/// before the rethrow, so channels and other shared structures are left in
+/// a consistent state for a post-rollback retry.
+template <typename T>
+void get_all(std::vector<future<T>>& futures,
+             runtime& rt = runtime::global()) {
+  for (auto& f : futures) f.wait(rt);
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get(rt);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
 }  // namespace octo::amt

@@ -1,37 +1,87 @@
 #pragma once
 /// \file checkpoint.hpp
 /// Single-file binary checkpoints (our stand-in for Octo-Tiger's
-/// Silo/HDF5 output, Fig. 2's blue boxes).
+/// Silo/HDF5 output, Fig. 2's blue boxes), hardened for fault-tolerant
+/// restart (v2).
 ///
-/// Format (little-endian, all integers 64-bit):
-///   magic "OCTOCKPT" | version | time | step | domain_half | max_level
-///   | nleaves | per leaf: location code | NFIELD x N^3 owned cells.
-/// Ghost cells are not stored; callers re-exchange after loading.
+/// Format v2 (little-endian; integers 64-bit, checksums CRC-32):
+///
+///   magic "OCTOCKPT" | version
+///   header record : time | step | dt | domain_half | max_level
+///                   | nleaves | nstats | nstats x u64  + CRC-32
+///   leaf records  : location code | NFIELD x N^3 owned cells  + CRC-32
+///                   (one per leaf, SFC order)
+///   trailer       : magic "OCTOEND." | CRC-32 of every preceding byte
+///
+/// Every record carries its own CRC so a bit-flip is attributed to the
+/// failing record by name; the trailer checksum additionally catches
+/// truncation and block reordering.  Writes are atomic: the stream goes to
+/// `<path>.tmp` and is renamed onto `<path>` only after a clean close, so a
+/// crash (or injected fault, common/fault.hpp) mid-write never clobbers the
+/// previous valid checkpoint.
+///
+/// The `stats` words are an opaque extension slot: empty for
+/// `app::simulation`, the four exchange_stats counters for the
+/// multi-locality `dist::cluster` (dist/checkpoint.hpp), which reuses this
+/// record layer leaf-by-leaf along its SFC partition.
+///
+/// Ghost cells are not stored; restore re-exchanges ghosts, re-solves
+/// gravity, and recomputes the CFL dt from the restored fields, which is
+/// exactly the state an uninterrupted run would carry — restart is bitwise
+/// transparent.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "app/simulation.hpp"
 
 namespace octo::app {
 
-/// Write the current state of \p sim to \p path.  Returns bytes written.
-std::size_t write_checkpoint(const simulation& sim, const std::string& path);
+/// On-disk checkpoint version written by this build.
+inline constexpr std::int64_t checkpoint_version = 2;
 
-/// Result of reading a checkpoint back.
+/// Result of reading a checkpoint back (also the writer's input — the
+/// cluster writer in dist/ fills one of these from its partition).
 struct checkpoint_data {
   real time = 0;
   std::int64_t step = 0;
+  real dt = 0;
   real domain_half = 0;
   std::int64_t max_level = 0;
+  /// Opaque extension words (dist::cluster stores exchange_stats here).
+  std::vector<std::uint64_t> stats;
   std::vector<code_t> leaf_codes;
   /// Owned cells per leaf, NFIELD x N^3, same order as leaf_codes.
   std::vector<std::vector<real>> fields;
 };
 
+/// Pack the owned cells of \p g into the flat field order used by the leaf
+/// records (fields outer, then i, j, k).  Safe to call concurrently for
+/// different leaves.
+std::vector<real> pack_leaf_fields(const grid::subgrid& g);
+
+/// Unpack a leaf record payload back into \p g's owned cells.
+void unpack_leaf_fields(const std::vector<real>& flat, grid::subgrid& g);
+
+/// Write \p data to \p path atomically (temp file + rename).  Returns
+/// bytes written.  Throws octo::error on IO failure or injected fault, in
+/// which case \p path still holds its previous contents.
+std::size_t write_checkpoint_file(const checkpoint_data& data,
+                                  const std::string& path);
+
+/// Read and fully verify a checkpoint; throws octo::error naming the
+/// failing record (header / leaf record / trailer) on any corruption.
 checkpoint_data read_checkpoint(const std::string& path);
 
-/// Restore sub-grid contents from checkpoint data into a simulation whose
-/// topology has the same leaf codes (throws otherwise).
+/// Write the current state of \p sim to \p path (atomic, v2).  Returns
+/// bytes written.
+std::size_t write_checkpoint(const simulation& sim, const std::string& path);
+
+/// Restore a checkpoint into a simulation whose topology has the same leaf
+/// codes (throws otherwise): sub-grid contents, then time/step via
+/// simulation::restore_state(), which re-exchanges ghosts and recomputes
+/// dt so the next step() is bitwise identical to an uninterrupted run.
 void restore_checkpoint(simulation& sim, const checkpoint_data& data);
 
 }  // namespace octo::app

@@ -260,6 +260,10 @@ real simulation::step() {
 
   time_ += dt;
   ++steps_;
+  // Re-evaluate the CFL condition on the evolved state so the next step's
+  // dt tracks the current signal speeds (previously only regrid() did
+  // this, leaving dt frozen at its initialize() value).
+  if (opt_.fixed_dt <= 0) dt_ = compute_dt();
 
   // Structured per-step observability record (the paper's headline
   // "processed sub-grid cells per second" plus the per-phase breakdown).
@@ -276,6 +280,18 @@ real simulation::step() {
   last_metrics_.finalize();
   if (metrics_ != nullptr) metrics_->emit(last_metrics_);
   return dt;
+}
+
+void simulation::restore_state(real time, std::int64_t step) {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  time_ = time;
+  steps_ = static_cast<int>(step);
+  // Derived state is not checkpointed: rebuild ghosts and gravity from the
+  // restored fields, then recompute dt — bitwise identical to what the
+  // uninterrupted run carried at this point.
+  exchange_ghosts();
+  if (opt_.self_gravity) solve_gravity();
+  dt_ = opt_.fixed_dt > 0 ? opt_.fixed_dt : compute_dt();
 }
 
 bool simulation::regrid() {

@@ -34,8 +34,9 @@ struct sim_options {
   bool self_gravity = true;
   hydro::hydro_options hydro{};
   gravity::gravity_options gravity{};
-  /// Fixed time step (Octo-Tiger does not use adaptive stepping, §IV-C).
-  /// 0 = derive once from the initial CFL condition.
+  /// Fixed time step; 0 = derive from the CFL condition, re-evaluated
+  /// after every step (and after regrid/restore) so dt tracks the evolving
+  /// signal speeds instead of staying frozen at its initialize() value.
   real fixed_dt = 0;
   /// Density threshold for dynamic regridding ("AMR is based on the
   /// density field", §IV-C): regrid() refines every region whose density
@@ -71,9 +72,17 @@ class simulation {
   /// Returns true if the topology changed.
   bool regrid();
 
+  /// Narrow restore hook for checkpointing: overwrite the integration
+  /// clock (leaf fields must already hold the checkpointed state), then
+  /// rebuild the derived state exactly as an uninterrupted run would carry
+  /// it — re-exchange ghosts, re-solve gravity, recompute the CFL dt.
+  void restore_state(real time, std::int64_t step);
+
   int steps_taken() const { return steps_; }
   real time() const { return time_; }
   real dt() const { return dt_; }
+
+  const exec::amt_space& space() const { return space_; }
 
   const tree::topology& topo() const { return *topo_; }
   index_t num_leaves() const { return topo_->num_leaves(); }

@@ -1,0 +1,36 @@
+#pragma once
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+/// checkpoint records and serialized ghost slabs.  Chainable: pass the
+/// previous result as \p seed to checksum data arriving in pieces.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace octo {
+
+namespace detail {
+inline constexpr std::array<std::uint32_t, 256> crc32_table = [] {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b)
+      c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+    t[i] = c;
+  }
+  return t;
+}();
+}  // namespace detail
+
+/// CRC-32 of \p n bytes at \p data, continuing from \p seed (0 to start).
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i)
+    c = detail::crc32_table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace octo

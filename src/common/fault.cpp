@@ -1,0 +1,117 @@
+#include "common/fault.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace octo::fault {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  return std::strtoull(v, nullptr, 10);
+}
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+injector& injector::instance() {
+  static injector inst;
+  return inst;
+}
+
+injector::injector()
+    : rng_(env_u64("OCTO_FAULT_SEED", 0x0C70F4A57ull)) {
+  ghost_corrupt_ = env_u64("OCTO_FAULT_GHOST_CORRUPT", 0);
+  ghost_truncate_ = env_u64("OCTO_FAULT_GHOST_TRUNCATE", 0);
+  ckpt_budget_ = env_u64("OCTO_FAULT_CKPT_SHORT_WRITE", no_budget);
+  const auto flip = env_u64("OCTO_FAULT_CKPT_BITFLIP", no_budget);
+  ckpt_bitflip_ = flip == no_budget ? 0 : flip + 1;
+  fail_step_ = env_u64("OCTO_FAULT_STEP", 0);
+}
+
+void injector::reset() {
+  ghost_corrupt_ = 0;
+  ghost_truncate_ = 0;
+  ckpt_budget_ = no_budget;
+  ckpt_bitflip_ = 0;
+  fail_step_ = 0;
+  ghost_slabs_seen_ = 0;
+  steps_seen_ = 0;
+  injected_ = 0;
+}
+
+std::uint64_t injector::next_rand() {
+  std::uint64_t s =
+      rng_.fetch_add(0x9E3779B97F4A7C15ull, std::memory_order_relaxed);
+  return splitmix64(s);
+}
+
+bool injector::ghost_slab_hook(std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t corrupt = ghost_corrupt_.load();
+  const std::uint64_t truncate = ghost_truncate_.load();
+  if ((corrupt == 0 && truncate == 0) || bytes.empty()) return false;
+  const std::uint64_t nth =
+      ghost_slabs_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (corrupt != 0 && nth == corrupt) {
+    const std::uint64_t r = next_rand();
+    bytes[r % bytes.size()] ^=
+        static_cast<std::uint8_t>(1u << ((r >> 32) % 8));
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (truncate != 0 && nth == truncate) {
+    bytes.resize(bytes.size() / 2);
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t injector::ckpt_write_budget(std::uint64_t stream_pos,
+                                          std::uint64_t want) {
+  const std::uint64_t budget = ckpt_budget_.load();
+  if (budget == no_budget) return want;
+  if (stream_pos >= budget) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  const std::uint64_t room = budget - stream_pos;
+  if (want > room) injected_.fetch_add(1, std::memory_order_relaxed);
+  return want < room ? want : room;
+}
+
+bool injector::ckpt_corrupt_hook(std::uint8_t* data, std::uint64_t n,
+                                 std::uint64_t stream_pos) {
+  const std::uint64_t flip = ckpt_bitflip_.load();
+  if (flip == 0) return false;
+  const std::uint64_t off = flip - 1;
+  if (off < stream_pos || off >= stream_pos + n) return false;
+  data[off - stream_pos] ^=
+      static_cast<std::uint8_t>(1u << (next_rand() % 8));
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void injector::maybe_fail_step() {
+  const std::uint64_t armed = fail_step_.load();
+  if (armed == 0) return;
+  const std::uint64_t nth =
+      steps_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (nth == armed) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw error("injected fault: step failure at armed step " +
+                std::to_string(armed));
+  }
+}
+
+}  // namespace octo::fault

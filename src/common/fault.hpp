@@ -1,0 +1,107 @@
+#pragma once
+/// \file fault.hpp
+/// Fault-injection hooks for resilience testing.
+///
+/// At Fugaku scale (1024 nodes x 48 cores) a run survives node budgets and
+/// hardware failures only through checkpoint/restart, so the failure paths
+/// must be exercisable on demand.  This singleton arms deterministic faults
+/// that the communication and checkpoint layers consult at well-defined
+/// points:
+///
+///   * ghost slabs — corrupt (bit-flip) or truncate the nth *serialized*
+///     boundary slab of a `dist::cluster` exchange; the receiver's archive
+///     checksum must detect it and fail loudly;
+///   * checkpoint stream — stop writing after N bytes (a crash mid-write;
+///     the atomic temp-file+rename protocol must keep the previous
+///     checkpoint intact) or flip one bit at a byte offset (the per-record
+///     CRCs must reject the file);
+///   * step failure — throw `octo::error` when a driver reaches the nth
+///     step, the trigger for `dist::run_with_checkpoints` rollback.
+///
+/// Arming: programmatically (tests) or via the environment, read once at
+/// first use — `OCTO_FAULT_GHOST_CORRUPT=<nth>`, `OCTO_FAULT_GHOST_TRUNCATE=
+/// <nth>`, `OCTO_FAULT_CKPT_SHORT_WRITE=<bytes>`, `OCTO_FAULT_CKPT_BITFLIP=
+/// <offset>`, `OCTO_FAULT_STEP=<nth>`, `OCTO_FAULT_SEED=<u64>`.  All
+/// counts are 1-based; 0 disarms.  Which bit of which byte gets flipped is
+/// drawn from a splitmix64 stream seeded by OCTO_FAULT_SEED, so a failing
+/// run is reproducible from its environment.
+///
+/// This header lives in common and must not depend on apex; call sites
+/// mirror injections into the `fault.injected` apex counter themselves.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace octo::fault {
+
+class injector {
+ public:
+  static injector& instance();
+
+  // --- arming ------------------------------------------------------------
+  /// Bit-flip the \p nth serialized ghost slab (1-based; 0 disarms).
+  void arm_ghost_corrupt(std::uint64_t nth) { ghost_corrupt_ = nth; }
+  /// Truncate the \p nth serialized ghost slab to half its size.
+  void arm_ghost_truncate(std::uint64_t nth) { ghost_truncate_ = nth; }
+  /// Simulate a crash: checkpoint streams stop after \p bytes total.
+  void arm_ckpt_short_write(std::uint64_t bytes) { ckpt_budget_ = bytes; }
+  /// Flip one bit of the checkpoint byte at stream offset \p offset.
+  void arm_ckpt_bitflip(std::uint64_t offset) {
+    ckpt_bitflip_ = offset + 1;  // stored 1-based so 0 can mean "off"
+  }
+  /// Throw from maybe_fail_step() at the \p nth call (1-based).
+  void arm_step_failure(std::uint64_t nth) { fail_step_ = nth; }
+
+  /// Disarm everything and zero all counters (tests call this in SetUp).
+  void reset();
+
+  // --- hook points -------------------------------------------------------
+  /// Every serialized ghost slab passes through here; returns true if the
+  /// buffer was corrupted or truncated in place.
+  bool ghost_slab_hook(std::vector<std::uint8_t>& bytes);
+
+  /// How many of the next \p want checkpoint-stream bytes may be written;
+  /// anything less than \p want means the armed crash point was reached.
+  std::uint64_t ckpt_write_budget(std::uint64_t stream_pos,
+                                  std::uint64_t want);
+
+  /// Corrupt the checkpoint bytes about to be written at \p stream_pos;
+  /// returns true if a bit was flipped.
+  bool ckpt_corrupt_hook(std::uint8_t* data, std::uint64_t n,
+                         std::uint64_t stream_pos);
+
+  /// Step-failure trigger: increments the step counter and throws
+  /// octo::error when the armed step is reached.
+  void maybe_fail_step();
+
+  // --- introspection -----------------------------------------------------
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  bool armed() const {
+    return ghost_corrupt_ || ghost_truncate_ || ckpt_bitflip_ ||
+           fail_step_ || ckpt_budget_ != no_budget;
+  }
+
+ private:
+  injector();
+
+  /// Next value of the deterministic corruption-position stream.
+  std::uint64_t next_rand();
+
+  static constexpr std::uint64_t no_budget = ~std::uint64_t(0);
+
+  std::atomic<std::uint64_t> ghost_corrupt_{0};
+  std::atomic<std::uint64_t> ghost_truncate_{0};
+  std::atomic<std::uint64_t> ckpt_budget_{no_budget};
+  std::atomic<std::uint64_t> ckpt_bitflip_{0};  ///< offset + 1; 0 = off
+  std::atomic<std::uint64_t> fail_step_{0};
+
+  std::atomic<std::uint64_t> ghost_slabs_seen_{0};
+  std::atomic<std::uint64_t> steps_seen_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> rng_;
+};
+
+}  // namespace octo::fault

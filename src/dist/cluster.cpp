@@ -7,6 +7,7 @@
 #include "apex/apex.hpp"
 #include "apex/trace.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "dist/serialize.hpp"
 
 namespace octo::dist {
@@ -62,6 +63,12 @@ void cluster::initialize() {
     amt::wait_all(futs, space_.runtime());
   }
 
+  // Reset the integration clock: re-initialize() is the from-scratch
+  // restart path of run_with_checkpoints when no valid checkpoint exists.
+  time_ = 0;
+  steps_ = 0;
+  stats_ = exchange_stats{};
+
   exchange_ghosts();
   if (opt_.sim.self_gravity) solve_gravity();
   dt_ = opt_.sim.fixed_dt > 0 ? opt_.sim.fixed_dt : compute_dt();
@@ -69,6 +76,11 @@ void cluster::initialize() {
 }
 
 grid::subgrid& cluster::leaf(index_t node) {
+  OCTO_ASSERT(topo_->node(node).leaf);
+  return grids_[node];
+}
+
+const grid::subgrid& cluster::leaf(index_t node) const {
   OCTO_ASSERT(topo_->node(node).leaf);
   return grids_[node];
 }
@@ -85,6 +97,8 @@ struct exchange_counters {
       apex::registry::instance().counter("dist.remote_messages");
   apex::metric_id bytes =
       apex::registry::instance().counter("dist.bytes_serialized");
+  apex::metric_id faults =
+      apex::registry::instance().counter("fault.injected");
 };
 exchange_counters& counters() {
   static exchange_counters c;
@@ -168,8 +182,13 @@ void cluster::exchange_ghosts() {
                 oarchive ar;
                 ar.put(static_cast<std::int32_t>(rd));
                 ar.put_vector(slab);
+                ar.seal();
                 boundary_msg msg;
                 msg.bytes = ar.take();
+                // Transit-corruption hook: may bit-flip or truncate the
+                // sealed buffer; the receiver's unseal() must catch it.
+                if (fault::injector::instance().ghost_slab_hook(msg.bytes))
+                  apex::registry::instance().add(counters().faults);
                 by.fetch_add(msg.bytes.size(), std::memory_order_relaxed);
                 if (same_loc)
                   ls.fetch_add(1, std::memory_order_relaxed);
@@ -197,6 +216,7 @@ void cluster::exchange_ghosts() {
                 grids_[l].copy_ghost_direct(d, *msg.src);
               } else {
                 iarchive ar(std::move(msg.bytes));
+                ar.unseal("serialized ghost slab");
                 const auto rd = ar.get<std::int32_t>();
                 OCTO_CHECK(rd == d);
                 const auto slab = ar.get_vector<real>();
@@ -207,8 +227,10 @@ void cluster::exchange_ghosts() {
             rt));
       }
     }
-    amt::wait_all(send_futs, rt);
-    amt::wait_all(recv_futs, rt);
+    // get_all (not wait_all): an unseal() checksum failure in any unpack
+    // continuation must surface here, not vanish into a dropped future.
+    amt::get_all(send_futs, rt);
+    amt::get_all(recv_futs, rt);
     stats_.local_direct += ld.load();
     stats_.local_serialized += ls.load();
     stats_.remote_messages += rm.load();
@@ -292,6 +314,9 @@ void cluster::hydro_stage(real dt, real ca, real cb) {
 real cluster::step() {
   OCTO_CHECK_MSG(initialized_, "call initialize() first");
   const apex::scoped_trace_span trace_span("dist.step");
+  // Armed node-death trigger (OCTO_FAULT_STEP) — before any state
+  // mutation, so a rollback sees a consistent cluster.
+  fault::injector::instance().maybe_fail_step();
   const real dt = dt_;
   {
     std::vector<amt::future<void>> futs;
@@ -316,7 +341,26 @@ real cluster::step() {
 
   time_ += dt;
   ++steps_;
+  // Re-evaluate the CFL condition on the evolved state (mirrors
+  // app::simulation::step(); dt_ previously stayed frozen at its
+  // initialize() value for the cluster's whole lifetime).
+  if (opt_.sim.fixed_dt <= 0) dt_ = compute_dt();
   return dt;
+}
+
+void cluster::restore_state(real time, std::int64_t step,
+                            const exchange_stats& st) {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  time_ = time;
+  steps_ = static_cast<int>(step);
+  // Derived state is not checkpointed: rebuild ghosts and gravity from the
+  // restored fields, then recompute dt — bitwise identical to what the
+  // uninterrupted run carried after the same step.
+  exchange_ghosts();
+  if (opt_.sim.self_gravity) solve_gravity();
+  dt_ = opt_.sim.fixed_dt > 0 ? opt_.sim.fixed_dt : compute_dt();
+  // Last, so the checkpointed counters win over the restore exchange.
+  stats_ = st;
 }
 
 app::ledger cluster::measure() const {

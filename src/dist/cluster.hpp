@@ -20,6 +20,12 @@
 /// futures, so the exchange is barrier-free across leaves (communication/
 /// computation overlap as in the real code).  Statistics feed the DES
 /// calibration and Fig. 8's model.
+///
+/// Every serialized slab is sealed with a CRC-32; a slab corrupted or
+/// truncated in transit (for real, or via the fault injector in
+/// common/fault.hpp) is detected at unpack time and fails the whole
+/// exchange loudly instead of being silently integrated — the trigger for
+/// `dist::run_with_checkpoints` rollback (dist/checkpoint.hpp).
 
 #include <memory>
 #include <vector>
@@ -56,13 +62,23 @@ class cluster {
   void initialize();
   real step();
 
+  /// Narrow restore hook for checkpointing (dist/checkpoint.hpp): the leaf
+  /// fields must already hold the checkpointed state; this overwrites the
+  /// integration clock and exchange statistics, re-exchanges ghosts,
+  /// re-solves gravity and recomputes the CFL dt — bitwise identical to
+  /// the state an uninterrupted run carries after the same step.
+  void restore_state(real time, std::int64_t step, const exchange_stats& st);
+
   const tree::topology& topo() const { return *topo_; }
   const tree::partition_result& partition() const { return part_; }
   const exchange_stats& stats() const { return stats_; }
+  const exec::amt_space& space() const { return space_; }
 
   grid::subgrid& leaf(index_t node);
+  const grid::subgrid& leaf(index_t node) const;
   app::ledger measure() const;
   real time() const { return time_; }
+  real dt() const { return dt_; }
   int steps_taken() const { return steps_; }
 
  private:

@@ -3,6 +3,12 @@
 /// Byte-buffer archive for boundary messages and other wire payloads.
 /// Models the serialization step of an HPX action invocation — the cost the
 /// paper's §VII-B optimization removes for same-locality neighbors.
+///
+/// Archives can be *sealed*: `oarchive::seal()` appends a CRC-32 of the
+/// buffer, and `iarchive::unseal(context)` verifies and strips it, throwing
+/// `octo::error` naming \p context on any mismatch.  The cluster seals every
+/// serialized ghost slab, so a corrupted or truncated message is detected at
+/// unpack time instead of being silently integrated into the state.
 
 #include <cstdint>
 #include <cstring>
@@ -10,6 +16,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace octo::dist {
@@ -33,6 +40,13 @@ class oarchive {
     std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
   }
 
+  /// Append a CRC-32 of everything written so far; pairs with
+  /// iarchive::unseal().  Call once, immediately before take().
+  void seal() {
+    const std::uint32_t crc = crc32(buf_.data(), buf_.size());
+    put(crc);
+  }
+
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
@@ -43,6 +57,22 @@ class oarchive {
 class iarchive {
  public:
   explicit iarchive(std::vector<std::uint8_t> buf) : buf_(std::move(buf)) {}
+
+  /// Verify and strip a trailing seal() checksum.  Throws octo::error
+  /// naming \p context if the buffer is too short (truncated in transit)
+  /// or the CRC-32 does not match (corrupted in transit).
+  void unseal(const char* context) {
+    OCTO_CHECK_MSG(buf_.size() >= sizeof(std::uint32_t),
+                   "sealed archive truncated — " << context);
+    std::uint32_t stored;
+    std::memcpy(&stored, buf_.data() + buf_.size() - sizeof stored,
+                sizeof stored);
+    const std::uint32_t actual =
+        crc32(buf_.data(), buf_.size() - sizeof stored);
+    OCTO_CHECK_MSG(stored == actual,
+                   "archive checksum mismatch — " << context);
+    buf_.resize(buf_.size() - sizeof stored);
+  }
 
   template <typename T>
   T get() {
