@@ -5,6 +5,7 @@
 /// worse at larger node counts (the bookkeeping outweighs the shrinking
 /// local savings).
 
+#include "common/stopwatch.hpp"
 #include "dist/cluster.hpp"
 #include "fig_common.hpp"
 
@@ -44,6 +45,58 @@ void measured_counters() {
   bench::check(on_stats.bytes_serialized < off_stats.bytes_serialized,
                "ON serializes fewer bytes than OFF");
   bench::apex_report("the measured cluster runs");
+}
+
+/// Transport-overhead column: what the reliability layer (sequencing, acks,
+/// retry bookkeeping — dist/transport.hpp) costs on a fault-free network
+/// versus the seed's bare channels, with every slab on the serialized path.
+void transport_overhead() {
+  using namespace octo;
+  std::printf("\nreliable-transport overhead vs bare channels (level 2, "
+              "4 localities, serialized path, 1 step, no faults):\n");
+  table t({"transport", "step s", "messages", "frames", "hdr bytes",
+           "hdr/payload %"});
+  double bare_s = 0, reliable_s = 0;
+  std::uint64_t hdr = 0, payload = 0;
+  for (const bool reliable : {false, true}) {
+    amt::runtime rt(4);
+    amt::scoped_global_runtime guard(rt);
+    dist::dist_options opt;
+    opt.num_localities = 4;
+    opt.local_optimization = false;  // every slab through the wire path
+    opt.reliable_transport = reliable;
+    opt.sim.max_level = 2;
+    dist::cluster cl(scen::rotating_star(), opt);
+    cl.initialize();
+    const stopwatch w;
+    cl.step();
+    const double s = w.seconds();
+    (reliable ? reliable_s : bare_s) = s;
+    const auto ts = cl.transport_statistics();
+    const double pct =
+        cl.stats().bytes_serialized == 0
+            ? 0
+            : 100.0 * static_cast<double>(ts.header_bytes) /
+                  static_cast<double>(cl.stats().bytes_serialized);
+    if (reliable) {
+      hdr = ts.header_bytes;
+      payload = cl.stats().bytes_serialized;
+    }
+    t.add_row({reliable ? "reliable" : "bare", table::fmt(s),
+               table::fmt(static_cast<long long>(ts.messages)),
+               table::fmt(static_cast<long long>(ts.frames_sent)),
+               table::fmt(static_cast<long long>(ts.header_bytes)),
+               table::fmt(pct)});
+  }
+  t.print(std::cout);
+  bench::check(hdr > 0, "reliable path accounts seq/ack header traffic");
+  bench::check(static_cast<double>(hdr) < 0.05 * static_cast<double>(payload),
+               "wire overhead of sequencing+acks stays under 5% of slab "
+               "payload");
+  std::printf("note: step wall times (bare %.3fs vs reliable %.3fs) bound "
+              "the robustness tax; on a fault-free network the reliable "
+              "path adds only per-message bookkeeping, no retransmissions\n",
+              bare_s, reliable_s);
 }
 
 }  // namespace
@@ -89,5 +142,6 @@ int main() {
               "nodes instead of the paper's 8 (see EXPERIMENTS.md)\n");
 
   measured_counters();
+  transport_overhead();
   return 0;
 }

@@ -10,24 +10,45 @@
 /// and a bitwise comparison of the recovered end state against the
 /// uninterrupted reference.
 ///
+/// With `kill_loc=<loc>` (optionally `kill_step=<n>`, default 1) — or the
+/// `OCTO_FAULT_LOCALITY_KILL=<loc>:<step>` env knob — a locality is killed
+/// mid-run instead: the heartbeat deadline detects the death, the partition
+/// shrinks over the survivors, the lost leaves come back from buddy
+/// replicas (or the newest checkpoint in ckpt_dir=), and the surviving run
+/// is compared cell-for-cell against the uninterrupted reference.
+///
 ///   ./distributed_demo [localities=4] [level=2] [steps=2] [threads=4]
 ///                      [ckpt_dir=/tmp/...] [ckpt_every=1]
+///                      [kill_loc=-1] [kill_step=1]
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
+#include "apex/metrics.hpp"
 #include "common/config.hpp"
 #include "common/fault.hpp"
 #include "dist/checkpoint.hpp"
 #include "dist/cluster.hpp"
+#include "dist/recovery.hpp"
 
 int main(int argc, char** argv) {
   using namespace octo;
-  const auto cfg = config::from_args(argc, argv);
+  auto cfg = config::from_args(argc, argv);
+  cfg.merge_env({"metrics"});
   const int nloc = cfg.get("localities", 4);
   const int level = cfg.get("level", 2);
   const int steps = cfg.get("steps", 2);
   const int threads = cfg.get("threads", 4);
+
+  // Per-step metrics (metrics= or OCTO_METRICS=): the transport/recovery
+  // columns land here — retries, timeouts, duplicates, localities lost,
+  // leaves migrated per step.
+  apex::metrics_sink metrics;
+  const auto metrics_path = cfg.get("metrics", std::string());
+  if (!metrics_path.empty() && !metrics.open(metrics_path))
+    std::fprintf(stderr, "cannot open metrics sink %s\n",
+                 metrics_path.c_str());
 
   amt::runtime rt(static_cast<unsigned>(threads));
   amt::scoped_global_runtime guard(rt);
@@ -39,19 +60,38 @@ int main(int argc, char** argv) {
   std::printf("rotating star level %d across %d localities\n\n", level,
               nloc);
 
+  // Locality-kill demo: kill_loc=/kill_step= args or the
+  // OCTO_FAULT_LOCALITY_KILL env knob.  A kill needs live recovery
+  // (partition shrink), not checkpoint rollback, so it suppresses the
+  // rollback demo below; the one-shot kill is disarmed here and re-armed
+  // for the final recovery run so it cannot fire inside the reference runs.
+  int kill_loc = cfg.get("kill_loc", -1);
+  int kill_step = cfg.get("kill_step", 1);
+  if (kill_loc < 0) {
+    if (const char* env = std::getenv("OCTO_FAULT_LOCALITY_KILL")) {
+      unsigned long long s = 1;
+      if (std::sscanf(env, "%d:%llu", &kill_loc, &s) >= 1)
+        kill_step = static_cast<int>(s);
+    }
+  }
+  const bool kill_demo = kill_loc >= 0;
+  if (kill_demo) fault::injector::instance().arm_locality_kill(-1, 0);
+
   // Resilience demo: only when asked for (ckpt_dir=) or when a fault is
   // armed through the OCTO_FAULT_* environment knobs.  Runs first so the
   // armed (one-shot) fault is injected into the checkpointed run, not the
   // plain comparison runs below.
   const std::string ckpt_dir = cfg.get("ckpt_dir", std::string());
   const bool resilience =
-      !ckpt_dir.empty() || fault::injector::instance().armed();
+      !kill_demo &&
+      (!ckpt_dir.empty() || fault::injector::instance().armed());
   dist::cluster recovered(sc, {.num_localities = nloc,
                                .local_optimization = false,
                                .sim = so});
   dist::run_result rr;
   dist::run_options ro;
   if (resilience) {
+    if (metrics.is_open()) recovered.set_metrics_sink(&metrics);
     ro.dir = ckpt_dir.empty() ? std::string("/tmp/octo_ckpt_demo") : ckpt_dir;
     ro.every = cfg.get("ckpt_every", 1);
     // A fault can hit the initial ghost exchange too, before the driver's
@@ -79,6 +119,11 @@ int main(int argc, char** argv) {
   };
   const char* labels[2] = {"optimized (direct local access)",
                            "baseline (serialize everything)"};
+
+  // Plain runs feed the sink only when no resilience/kill demo does, so
+  // the file stays one coherent per-step stream.
+  if (!resilience && !kill_demo && metrics.is_open())
+    clusters[0].set_metrics_sink(&metrics);
 
   for (int v = 0; v < 2; ++v) {
     auto& cl = clusters[v];
@@ -130,6 +175,48 @@ int main(int argc, char** argv) {
     }
     std::printf("max |recovered - reference| over every cell: %.1e %s\n",
                 rdiff, rdiff == 0 ? "(bitwise identical)" : "");
+  }
+
+  if (kill_demo) {
+    std::printf("\nlocality-kill demo: locality %d dies at step %d of %d\n",
+                kill_loc, kill_step, steps);
+    fault::injector::instance().arm_locality_kill(kill_loc, kill_step);
+    dist::cluster survivor(sc, {.num_localities = nloc,
+                                .local_optimization = true,
+                                .sim = so});
+    if (metrics.is_open()) survivor.set_metrics_sink(&metrics);
+    survivor.initialize();
+    dist::recovery_options ropt;
+    ropt.ckpt_dir = ckpt_dir;  // optional rollback fallback; replicas first
+    const auto res = dist::run_with_recovery(survivor, steps, ropt);
+    const auto ts = survivor.transport_statistics();
+    std::printf("  survived: %d recovery(ies), %d locality(ies) lost, "
+                "%d of %d localities live at the end\n",
+                res.recoveries, res.localities_lost,
+                survivor.live_localities(), nloc);
+    std::printf("  transport: %llu messages, %llu retries, %llu timeouts, "
+                "%llu duplicates dropped\n",
+                static_cast<unsigned long long>(ts.messages),
+                static_cast<unsigned long long>(ts.retries),
+                static_cast<unsigned long long>(ts.timeouts),
+                static_cast<unsigned long long>(ts.dups_dropped));
+    double kdiff = 0;
+    for (const index_t leaf : reference->topo().leaves()) {
+      const auto& a = reference->leaf(leaf);
+      const auto& b = survivor.leaf(leaf);
+      for (int f = 0; f < grid::NFIELD; ++f)
+        for (int i = 0; i < 8; ++i)
+          for (int j = 0; j < 8; ++j)
+            for (int k = 0; k < 8; ++k)
+              kdiff = std::max(
+                  kdiff, std::abs(a.at(f, i, j, k) - b.at(f, i, j, k)));
+    }
+    const auto lref = reference->measure();
+    const auto lsur = survivor.measure();
+    std::printf("  max |survivor - reference| over every cell: %.1e %s\n",
+                kdiff, kdiff == 0 ? "(bitwise identical)" : "");
+    std::printf("  mass: survivor %.12f vs reference %.12f\n", lsur.mass,
+                lref.mass);
   }
   return 0;
 }

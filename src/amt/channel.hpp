@@ -6,15 +6,36 @@
 /// it arrives and attaches the unpack continuation to the future.
 ///
 /// Values and receivers may arrive in either order; pairing is FIFO.
+///
+/// A channel can be `close()`d: every pending and future `receive()` fails
+/// with `broken_channel` instead of hanging forever — the primitive that
+/// turns a lost message or a dead sender locality into a detectable error
+/// (dist recovery closes and rebuilds all boundary channels when the
+/// cluster shrinks).  Sends to a closed channel are silently dropped, so a
+/// straggler in-flight delivery cannot resurrect a torn-down exchange.
+///
+/// `receive_for(timeout)` is the deadline variant: it waits helping the
+/// scheduler, and on timeout *cancels* its pending receive slot so a later
+/// send is not swallowed by an abandoned waiter.
 
+#include <chrono>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "amt/future.hpp"
+#include "common/error.hpp"
 
 namespace octo::amt {
+
+/// Thrown by receives on a closed channel.
+class broken_channel : public error {
+ public:
+  broken_channel() : error("broken_channel: channel closed") {}
+};
 
 template <typename T>
 class channel {
@@ -24,13 +45,15 @@ class channel {
   channel& operator=(const channel&) = delete;
 
   /// Deliver a value; completes the oldest pending receive if any.
+  /// Dropped silently when the channel is closed.
   void send(T value) {
     promise<T> waiter;
     bool have_waiter = false;
     {
       const std::lock_guard<std::mutex> lock(m_);
+      if (closed_) return;
       if (!receivers_.empty()) {
-        waiter = std::move(receivers_.front());
+        waiter = std::move(receivers_.front().p);
         receivers_.pop_front();
         have_waiter = true;
       } else {
@@ -41,21 +64,86 @@ class channel {
   }
 
   /// Future for the next value (FIFO with respect to other receives).
+  /// Already-failed if the channel is closed; a later close() fails every
+  /// still-pending receive with broken_channel.
   future<T> receive() {
     promise<T> p;
     auto f = p.get_future();
     std::optional<T> ready_value;
+    bool broken = false;
     {
       const std::lock_guard<std::mutex> lock(m_);
       if (!values_.empty()) {
         ready_value.emplace(std::move(values_.front()));
         values_.pop_front();
+      } else if (closed_) {
+        broken = true;
       } else {
-        receivers_.push_back(p);
+        receivers_.push_back({next_ticket_++, p});
       }
     }
-    if (ready_value) p.set_value(std::move(*ready_value));
+    if (ready_value)
+      p.set_value(std::move(*ready_value));
+    else if (broken)
+      p.set_exception(std::make_exception_ptr(broken_channel{}));
     return f;
+  }
+
+  /// Receive with a deadline: the value if one arrives within \p timeout,
+  /// std::nullopt otherwise.  On timeout the pending receive slot is
+  /// cancelled, so an abandoned wait never swallows a later send.  Throws
+  /// broken_channel if the channel is (or becomes) closed.
+  template <typename Rep, typename Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout,
+                               runtime& rt = runtime::global()) {
+    promise<T> p;
+    auto f = p.get_future();
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (!values_.empty()) {
+        std::optional<T> v(std::move(values_.front()));
+        values_.pop_front();
+        return v;
+      }
+      if (closed_) throw broken_channel{};
+      ticket = next_ticket_++;
+      receivers_.push_back({ticket, p});
+    }
+    if (f.wait_for(timeout, rt)) return f.get(rt);  // may throw broken_channel
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      for (auto it = receivers_.begin(); it != receivers_.end(); ++it) {
+        if (it->ticket == ticket) {
+          receivers_.erase(it);
+          return std::nullopt;
+        }
+      }
+    }
+    // A send (or close) claimed our slot between the timeout and the
+    // cancellation attempt — the outcome is imminent; take it.
+    return f.get(rt);
+  }
+
+  /// Close the channel: every pending receive fails with broken_channel
+  /// now, every future receive fails immediately, sends are dropped.
+  /// Buffered but unreceived values are discarded.  Idempotent.
+  void close() {
+    std::deque<waiter> pending;
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      if (closed_) return;
+      closed_ = true;
+      pending.swap(receivers_);
+      values_.clear();
+    }
+    for (auto& w : pending)
+      w.p.set_exception(std::make_exception_ptr(broken_channel{}));
+  }
+
+  bool is_closed() const {
+    const std::lock_guard<std::mutex> lock(m_);
+    return closed_;
   }
 
   /// Number of values buffered and waiting for a receiver.
@@ -71,9 +159,18 @@ class channel {
   }
 
  private:
+  /// Pending receiver; the ticket lets receive_for cancel exactly its own
+  /// slot on timeout.
+  struct waiter {
+    std::uint64_t ticket;
+    promise<T> p;
+  };
+
   mutable std::mutex m_;
   std::deque<T> values_;
-  std::deque<promise<T>> receivers_;
+  std::deque<waiter> receivers_;
+  std::uint64_t next_ticket_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace octo::amt

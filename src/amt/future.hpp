@@ -10,6 +10,7 @@
 ///     tasks instead of blocking, so nested waits cannot starve the pool;
 ///   * `when_all` composes vectors of futures into one.
 
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -114,6 +115,19 @@ class shared_state {
     }
   }
 
+  /// Like wait(), but gives up at \p deadline.  Returns true when the state
+  /// became ready, false on timeout.  Helping semantics match wait(): a
+  /// worker thread executes pending tasks while it waits, so a timed wait
+  /// cannot starve the pool either.
+  bool wait_until(runtime* rt,
+                  std::chrono::steady_clock::time_point deadline) {
+    while (!ready()) {
+      if (std::chrono::steady_clock::now() >= deadline) return ready();
+      if (rt == nullptr || !rt->try_run_one()) std::this_thread::yield();
+    }
+    return true;
+  }
+
   /// Move the value out (call once, after wait()).
   storage_t take() {
     const std::lock_guard<std::mutex> lock(m_);
@@ -197,6 +211,23 @@ class future {
   void wait(runtime& rt = runtime::global()) const {
     OCTO_ASSERT(valid());
     state_->wait(&rt);
+  }
+
+  /// Wait until \p deadline; true when the future became ready (the value
+  /// is NOT consumed — call get() to take it), false on timeout.
+  bool wait_until(std::chrono::steady_clock::time_point deadline,
+                  runtime& rt = runtime::global()) const {
+    OCTO_ASSERT(valid());
+    return state_->wait_until(&rt, deadline);
+  }
+
+  /// Wait at most \p timeout; true when ready, false on timeout.  This is
+  /// the deadline primitive under dist::transport's ack waits — a lost
+  /// message costs one timeout window instead of hanging the exchange.
+  template <typename Rep, typename Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout,
+                runtime& rt = runtime::global()) const {
+    return wait_until(std::chrono::steady_clock::now() + timeout, rt);
   }
 
   /// Wait and retrieve; consumes the future's value.

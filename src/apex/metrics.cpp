@@ -23,30 +23,45 @@ bool metrics_sink::open(const std::string& path) {
 void metrics_sink::emit(const step_record& rec) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!out_.is_open()) return;
-  char line[512];
+  char line[768];
   if (format_ == format::csv) {
     if (emitted_ == 0)
       out_ << "step,time,dt,step_seconds,exchange_seconds,gravity_seconds,"
-              "hydro_seconds,subgrids,cells,cells_per_sec\n";
+              "hydro_seconds,subgrids,cells,cells_per_sec,"
+              "transport_retries,transport_timeouts,transport_dups_dropped,"
+              "localities_lost,leaves_migrated\n";
     std::snprintf(line, sizeof line,
-                  "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%llu,%.9g\n",
+                  "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%llu,%.9g,"
+                  "%llu,%llu,%llu,%llu,%llu\n",
                   rec.step, rec.time, rec.dt, rec.step_seconds,
                   rec.exchange_seconds, rec.gravity_seconds,
                   rec.hydro_seconds,
                   static_cast<unsigned long long>(rec.subgrids),
                   static_cast<unsigned long long>(rec.cells),
-                  rec.cells_per_sec);
+                  rec.cells_per_sec,
+                  static_cast<unsigned long long>(rec.transport_retries),
+                  static_cast<unsigned long long>(rec.transport_timeouts),
+                  static_cast<unsigned long long>(rec.transport_dups_dropped),
+                  static_cast<unsigned long long>(rec.localities_lost),
+                  static_cast<unsigned long long>(rec.leaves_migrated));
   } else {
     std::snprintf(
         line, sizeof line,
         "{\"step\":%d,\"time\":%.9g,\"dt\":%.9g,\"step_seconds\":%.9g,"
         "\"exchange_seconds\":%.9g,\"gravity_seconds\":%.9g,"
         "\"hydro_seconds\":%.9g,\"subgrids\":%llu,\"cells\":%llu,"
-        "\"cells_per_sec\":%.9g}\n",
+        "\"cells_per_sec\":%.9g,\"transport_retries\":%llu,"
+        "\"transport_timeouts\":%llu,\"transport_dups_dropped\":%llu,"
+        "\"localities_lost\":%llu,\"leaves_migrated\":%llu}\n",
         rec.step, rec.time, rec.dt, rec.step_seconds, rec.exchange_seconds,
         rec.gravity_seconds, rec.hydro_seconds,
         static_cast<unsigned long long>(rec.subgrids),
-        static_cast<unsigned long long>(rec.cells), rec.cells_per_sec);
+        static_cast<unsigned long long>(rec.cells), rec.cells_per_sec,
+        static_cast<unsigned long long>(rec.transport_retries),
+        static_cast<unsigned long long>(rec.transport_timeouts),
+        static_cast<unsigned long long>(rec.transport_dups_dropped),
+        static_cast<unsigned long long>(rec.localities_lost),
+        static_cast<unsigned long long>(rec.leaves_migrated));
   }
   out_ << line;
   out_.flush();  // steps are seconds-scale; make records crash-durable

@@ -31,6 +31,13 @@ struct step_record {
   std::uint64_t cells = 0;      ///< sub-grid cells evolved this step
   /// Headline metric: cells / step_seconds.
   double cells_per_sec = 0;
+  /// Reliable-transport activity this step (dist/transport.hpp deltas).
+  std::uint64_t transport_retries = 0;
+  std::uint64_t transport_timeouts = 0;
+  std::uint64_t transport_dups_dropped = 0;
+  /// Locality-failure recovery folded into this step (dist/recovery.hpp).
+  std::uint64_t localities_lost = 0;
+  std::uint64_t leaves_migrated = 0;
 
   /// Fill cells_per_sec from cells and step_seconds.
   void finalize() {

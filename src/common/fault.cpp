@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -13,6 +14,25 @@ std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return dflt;
   return std::strtoull(v, nullptr, 10);
+}
+
+double env_prob(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  const double p = std::strtod(v, nullptr);
+  return p < 0 ? 0 : (p > 1 ? 1 : p);
+}
+
+/// "<loc>:<step>" (e.g. "1:3"); returns {-1, 0} when unset or malformed.
+std::pair<int, std::uint64_t> env_locality_kill(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return {-1, 0};
+  char* end = nullptr;
+  const long loc = std::strtol(v, &end, 10);
+  if (end == v || *end != ':') return {-1, 0};
+  const std::uint64_t step = std::strtoull(end + 1, nullptr, 10);
+  if (loc < 0 || step == 0) return {-1, 0};
+  return {static_cast<int>(loc), step};
 }
 
 std::uint64_t splitmix64(std::uint64_t& s) {
@@ -37,6 +57,13 @@ injector::injector()
   const auto flip = env_u64("OCTO_FAULT_CKPT_BITFLIP", no_budget);
   ckpt_bitflip_ = flip == no_budget ? 0 : flip + 1;
   fail_step_ = env_u64("OCTO_FAULT_STEP", 0);
+  msg_drop_ = env_prob("OCTO_FAULT_MSG_DROP");
+  msg_delay_us_ = env_u64("OCTO_FAULT_MSG_DELAY_US", 0);
+  msg_dup_ = env_prob("OCTO_FAULT_MSG_DUP");
+  msg_reorder_ = env_prob("OCTO_FAULT_MSG_REORDER");
+  const auto [kloc, kstep] = env_locality_kill("OCTO_FAULT_LOCALITY_KILL");
+  kill_locality_ = kloc;
+  kill_step_ = kstep;
 }
 
 void injector::reset() {
@@ -45,6 +72,13 @@ void injector::reset() {
   ckpt_budget_ = no_budget;
   ckpt_bitflip_ = 0;
   fail_step_ = 0;
+  msg_drop_ = 0;
+  msg_delay_us_ = 0;
+  msg_dup_ = 0;
+  msg_reorder_ = 0;
+  kill_locality_ = -1;
+  kill_step_ = 0;
+  kill_fired_ = false;
   ghost_slabs_seen_ = 0;
   steps_seen_ = 0;
   injected_ = 0;
@@ -100,6 +134,57 @@ bool injector::ckpt_corrupt_hook(std::uint8_t* data, std::uint64_t n,
       static_cast<std::uint8_t>(1u << (next_rand() % 8));
   injected_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+bool injector::next_bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  // 53-bit uniform in [0, 1) from the deterministic stream.
+  const double u =
+      static_cast<double>(next_rand() >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+bool injector::msg_drop_hook() {
+  if (!next_bernoulli(msg_drop_.load(std::memory_order_relaxed)))
+    return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t injector::msg_delay_hook() {
+  const std::uint64_t max_us = msg_delay_us_.load(std::memory_order_relaxed);
+  if (max_us == 0) return 0;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return next_rand() % (max_us + 1);
+}
+
+bool injector::msg_dup_hook() {
+  if (!next_bernoulli(msg_dup_.load(std::memory_order_relaxed)))
+    return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool injector::msg_reorder_hook() {
+  if (!next_bernoulli(msg_reorder_.load(std::memory_order_relaxed)))
+    return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int injector::locality_kill_hook(std::uint64_t step) {
+  const std::uint64_t armed = kill_step_.load(std::memory_order_relaxed);
+  if (armed == 0 || step != armed) return -1;
+  bool expected = false;
+  if (!kill_fired_.compare_exchange_strong(expected, true)) return -1;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return kill_locality_.load(std::memory_order_relaxed);
+}
+
+bool injector::locality_alive(int loc) const {
+  return !(kill_fired_.load(std::memory_order_relaxed) &&
+           kill_locality_.load(std::memory_order_relaxed) == loc);
 }
 
 void injector::maybe_fail_step() {

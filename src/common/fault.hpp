@@ -16,15 +16,28 @@
 ///     checkpoint intact) or flip one bit at a byte offset (the per-record
 ///     CRCs must reject the file);
 ///   * step failure — throw `octo::error` when a driver reaches the nth
-///     step, the trigger for `dist::run_with_checkpoints` rollback.
+///     step, the trigger for `dist::run_with_checkpoints` rollback;
+///   * message faults — the unreliable-transport knobs consulted by
+///     `dist::transport` on every delivery attempt: drop a frame with
+///     probability p, delay it by a uniform-random time in [0, max_us],
+///     duplicate it with probability p, or hold it back so it arrives
+///     after the next frame (reorder) with probability p;
+///   * locality kill — declare locality `loc` dead when a cluster reaches
+///     integration step `step`: its heartbeat stops, its in-memory leaf
+///     state is scrubbed, and `dist` recovery must shrink the cluster and
+///     restore the lost leaves from a buddy replica or checkpoint.
 ///
 /// Arming: programmatically (tests) or via the environment, read once at
 /// first use — `OCTO_FAULT_GHOST_CORRUPT=<nth>`, `OCTO_FAULT_GHOST_TRUNCATE=
 /// <nth>`, `OCTO_FAULT_CKPT_SHORT_WRITE=<bytes>`, `OCTO_FAULT_CKPT_BITFLIP=
-/// <offset>`, `OCTO_FAULT_STEP=<nth>`, `OCTO_FAULT_SEED=<u64>`.  All
-/// counts are 1-based; 0 disarms.  Which bit of which byte gets flipped is
-/// drawn from a splitmix64 stream seeded by OCTO_FAULT_SEED, so a failing
-/// run is reproducible from its environment.
+/// <offset>`, `OCTO_FAULT_STEP=<nth>`, `OCTO_FAULT_MSG_DROP=<p>`,
+/// `OCTO_FAULT_MSG_DELAY_US=<max_us>`, `OCTO_FAULT_MSG_DUP=<p>`,
+/// `OCTO_FAULT_MSG_REORDER=<p>`, `OCTO_FAULT_LOCALITY_KILL=<loc>:<step>`,
+/// `OCTO_FAULT_SEED=<u64>`.  All counts are 1-based; 0 disarms;
+/// probabilities are floats in [0, 1].  Every random decision (which bit
+/// flips, whether a frame drops) is drawn from a splitmix64 stream seeded
+/// by OCTO_FAULT_SEED, so a failing run is reproducible from its
+/// environment.
 ///
 /// This header lives in common and must not depend on apex; call sites
 /// mirror injections into the `fault.injected` apex counter themselves.
@@ -53,6 +66,21 @@ class injector {
   /// Throw from maybe_fail_step() at the \p nth call (1-based).
   void arm_step_failure(std::uint64_t nth) { fail_step_ = nth; }
 
+  // Message-level transport faults (dist::transport consults these on every
+  // delivery attempt; probabilities in [0, 1], 0 disarms).
+  void arm_msg_drop(double p) { msg_drop_ = clamp01(p); }
+  void arm_msg_delay_us(std::uint64_t max_us) { msg_delay_us_ = max_us; }
+  void arm_msg_dup(double p) { msg_dup_ = clamp01(p); }
+  void arm_msg_reorder(double p) { msg_reorder_ = clamp01(p); }
+
+  /// Declare locality \p loc dead when a cluster reaches integration step
+  /// \p step (1-based; step 0 disarms).
+  void arm_locality_kill(int loc, std::uint64_t step) {
+    kill_locality_ = loc;
+    kill_step_ = step;
+    kill_fired_ = false;  // re-arming resets the one-shot latch
+  }
+
   /// Disarm everything and zero all counters (tests call this in SetUp).
   void reset();
 
@@ -75,13 +103,35 @@ class injector {
   /// octo::error when the armed step is reached.
   void maybe_fail_step();
 
+  /// Should this transport delivery attempt be dropped in transit?
+  bool msg_drop_hook();
+  /// Artificial transit delay for this delivery attempt (microseconds,
+  /// uniform in [0, armed max]; 0 when disarmed).
+  std::uint64_t msg_delay_hook();
+  /// Should this frame additionally be delivered twice?
+  bool msg_dup_hook();
+  /// Should this frame be held back and delivered after the next one?
+  bool msg_reorder_hook();
+
+  /// Locality-kill trigger: returns the armed locality if it must die at
+  /// integration step \p step (1-based), -1 otherwise.  One-shot: fires at
+  /// most once per arming.
+  int locality_kill_hook(std::uint64_t step);
+  /// False once locality \p loc has been declared dead by the hook above.
+  bool locality_alive(int loc) const;
+
   // --- introspection -----------------------------------------------------
   std::uint64_t injected() const {
     return injected_.load(std::memory_order_relaxed);
   }
   bool armed() const {
     return ghost_corrupt_ || ghost_truncate_ || ckpt_bitflip_ ||
-           fail_step_ || ckpt_budget_ != no_budget;
+           fail_step_ || ckpt_budget_ != no_budget || msg_faults_armed() ||
+           kill_step_ != 0;
+  }
+  bool msg_faults_armed() const {
+    return msg_drop_.load() > 0 || msg_delay_us_.load() > 0 ||
+           msg_dup_.load() > 0 || msg_reorder_.load() > 0;
   }
 
  private:
@@ -89,6 +139,10 @@ class injector {
 
   /// Next value of the deterministic corruption-position stream.
   std::uint64_t next_rand();
+  /// Deterministic Bernoulli draw with probability \p p.
+  bool next_bernoulli(double p);
+
+  static double clamp01(double p) { return p < 0 ? 0 : (p > 1 ? 1 : p); }
 
   static constexpr std::uint64_t no_budget = ~std::uint64_t(0);
 
@@ -97,6 +151,15 @@ class injector {
   std::atomic<std::uint64_t> ckpt_budget_{no_budget};
   std::atomic<std::uint64_t> ckpt_bitflip_{0};  ///< offset + 1; 0 = off
   std::atomic<std::uint64_t> fail_step_{0};
+
+  std::atomic<double> msg_drop_{0};
+  std::atomic<std::uint64_t> msg_delay_us_{0};
+  std::atomic<double> msg_dup_{0};
+  std::atomic<double> msg_reorder_{0};
+
+  std::atomic<int> kill_locality_{-1};
+  std::atomic<std::uint64_t> kill_step_{0};  ///< 1-based; 0 = off
+  std::atomic<bool> kill_fired_{false};
 
   std::atomic<std::uint64_t> ghost_slabs_seen_{0};
   std::atomic<std::uint64_t> steps_seen_{0};

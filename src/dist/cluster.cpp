@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
+#include <utility>
 
 #include "amt/future.hpp"
 #include "apex/apex.hpp"
 #include "apex/trace.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/stopwatch.hpp"
 #include "dist/serialize.hpp"
 
 namespace octo::dist {
@@ -49,10 +52,12 @@ void cluster::initialize() {
     leaves_by_level_[static_cast<std::size_t>(topo_->node(l).level)]
         .push_back(l);
 
-  channels_.clear();
-  channels_.reserve(leaves.size() * NNEIGHBOR);
-  for (std::size_t i = 0; i < leaves.size() * NNEIGHBOR; ++i)
-    channels_.push_back(std::make_unique<amt::channel<boundary_msg>>());
+  locality_alive_.assign(static_cast<std::size_t>(opt_.num_localities), 1);
+  monitor_.reset(opt_.num_localities);
+  rebuild_channels();
+  pending_localities_lost_ = 0;
+  pending_leaves_migrated_ = 0;
+  last_transport_stats_ = transport_stats{};
 
   if (scenario_.prepare) scenario_.prepare();
   {
@@ -68,11 +73,69 @@ void cluster::initialize() {
   time_ = 0;
   steps_ = 0;
   stats_ = exchange_stats{};
+  replicas_.clear();
+  replica_holder_.clear();
 
   exchange_ghosts();
   if (opt_.sim.self_gravity) solve_gravity();
   dt_ = opt_.sim.fixed_dt > 0 ? opt_.sim.fixed_dt : compute_dt();
   initialized_ = true;
+  update_replicas();
+}
+
+void cluster::rebuild_channels() {
+  // Break stragglers first: pending receives fail with broken_channel,
+  // delayed in-flight frames deliver into a closed channel and drop.
+  for (auto& ch : channels_)
+    if (ch) ch->close();
+  const std::size_t n = topo_->leaves().size() * NNEIGHBOR;
+  channels_.clear();
+  channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    channels_.push_back(std::make_shared<amt::channel<boundary_msg>>());
+  if (opt_.reliable_transport)
+    transport_ = std::make_unique<transport>(
+        static_cast<int>(n), opt_.transport, space_.runtime());
+}
+
+transport_stats cluster::transport_statistics() const {
+  return transport_ ? transport_->stats() : transport_stats{};
+}
+
+int cluster::live_localities() const {
+  int n = 0;
+  for (const char a : locality_alive_) n += a != 0;
+  return n;
+}
+
+int cluster::buddy_of(int loc) const {
+  const int nloc = opt_.num_localities;
+  for (int step = 1; step < nloc; ++step) {
+    const int cand = (loc + step) % nloc;
+    if (locality_alive_[static_cast<std::size_t>(cand)]) return cand;
+  }
+  return loc;  // sole survivor: replica stays with the owner
+}
+
+void cluster::update_replicas() {
+  if (!opt_.buddy_replication) return;
+  const apex::scoped_trace_span span("dist.update_replicas");
+  const auto& leaves = topo_->leaves();
+  if (replicas_.empty()) {
+    replicas_.reserve(leaves.size());
+    for (const index_t l : leaves)
+      replicas_.emplace_back(topo_->center(l), topo_->cell_width(l));
+  }
+  replica_holder_.assign(leaves.size(), 0);
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  futs.reserve(leaves.size());
+  for (std::size_t s = 0; s < leaves.size(); ++s) {
+    replica_holder_[s] = buddy_of(owner(leaves[s]));
+    futs.push_back(amt::async(
+        [this, s, l = leaves[s]] { replicas_[s] = grids_[l]; }, rt));
+  }
+  amt::wait_all(futs, rt);
 }
 
 grid::subgrid& cluster::leaf(index_t node) {
@@ -183,18 +246,34 @@ void cluster::exchange_ghosts() {
                 ar.put(static_cast<std::int32_t>(rd));
                 ar.put_vector(slab);
                 ar.seal();
-                boundary_msg msg;
-                msg.bytes = ar.take();
+                std::vector<std::uint8_t> bytes = ar.take();
                 // Transit-corruption hook: may bit-flip or truncate the
                 // sealed buffer; the receiver's unseal() must catch it.
-                if (fault::injector::instance().ghost_slab_hook(msg.bytes))
+                if (fault::injector::instance().ghost_slab_hook(bytes))
                   apex::registry::instance().add(counters().faults);
-                by.fetch_add(msg.bytes.size(), std::memory_order_relaxed);
+                by.fetch_add(bytes.size(), std::memory_order_relaxed);
                 if (same_loc)
                   ls.fetch_add(1, std::memory_order_relaxed);
                 else
                   rm.fetch_add(1, std::memory_order_relaxed);
-                ch.send(std::move(msg));
+                const int link =
+                    static_cast<int>(leaf_slot_[nb]) * NNEIGHBOR + rd;
+                if (transport_) {
+                  // Reliable path: sequence/ack/retry through the lossy
+                  // network; blocks (helping the scheduler) until acked.
+                  auto sink = channels_[static_cast<std::size_t>(link)];
+                  transport_->send(
+                      link, owner(l), owner(nb), std::move(bytes),
+                      [sink](std::vector<std::uint8_t> payload) {
+                        boundary_msg msg;
+                        msg.bytes = std::move(payload);
+                        sink->send(std::move(msg));
+                      });
+                } else {
+                  boundary_msg msg;
+                  msg.bytes = std::move(bytes);
+                  ch.send(std::move(msg));
+                }
               }
             }
           },
@@ -229,7 +308,20 @@ void cluster::exchange_ghosts() {
     }
     // get_all (not wait_all): an unseal() checksum failure in any unpack
     // continuation must surface here, not vanish into a dropped future.
-    amt::get_all(send_futs, rt);
+    try {
+      amt::get_all(send_futs, rt);
+    } catch (...) {
+      // A reliable send gave up (retries exhausted / peer dead): slabs
+      // that will never arrive would leave unpack continuations pending
+      // forever — the seed's lost-message deadlock.  Break every channel
+      // so the pending receives fail fast, drain them, hand the next
+      // attempt (rollback or recovery) fresh channels, then rethrow the
+      // original transport error.
+      for (auto& ch : channels_) ch->close();
+      for (auto& f : recv_futs) f.wait(rt);
+      rebuild_channels();
+      throw;
+    }
     amt::get_all(recv_futs, rt);
     stats_.local_direct += ld.load();
     stats_.local_serialized += ls.load();
@@ -311,13 +403,47 @@ void cluster::hydro_stage(real dt, real ca, real cb) {
   amt::wait_all(futs, rt);
 }
 
+void cluster::detect_locality_failures() {
+  auto& inj = fault::injector::instance();
+  const int victim = inj.locality_kill_hook(
+      static_cast<std::uint64_t>(steps_) + 1);
+  if (victim >= 0 && victim < opt_.num_localities &&
+      locality_alive_[static_cast<std::size_t>(victim)]) {
+    // The node is gone and its memory with it: scrub the victim's leaves
+    // so recovery provably restores them from a replica or checkpoint
+    // rather than silently reusing in-process state.
+    for (const index_t l :
+         part_.leaves_of_locality[static_cast<std::size_t>(victim)])
+      grids_[l].fill_all(std::numeric_limits<real>::quiet_NaN());
+  }
+  // Heartbeat round: every locality that is actually alive beats; the
+  // monitor then waits out the deadline for anyone silent.
+  monitor_.arm_step();
+  for (int loc = 0; loc < opt_.num_localities; ++loc)
+    if (locality_alive_[static_cast<std::size_t>(loc)] &&
+        inj.locality_alive(loc))
+      monitor_.beat(loc);
+  const auto dead = monitor_.overdue(opt_.heartbeat_deadline_ms);
+  if (!dead.empty()) throw locality_failure(dead);
+}
+
 real cluster::step() {
   OCTO_CHECK_MSG(initialized_, "call initialize() first");
   const apex::scoped_trace_span trace_span("dist.step");
+  const stopwatch step_watch;
   // Armed node-death trigger (OCTO_FAULT_STEP) — before any state
-  // mutation, so a rollback sees a consistent cluster.
+  // mutation, so a rollback sees a consistent cluster.  Likewise the
+  // locality kill + heartbeat check: detection precedes the stage-0 copy,
+  // so recovery sees every survivor at the end of the previous step.
   fault::injector::instance().maybe_fail_step();
+  detect_locality_failures();
   const real dt = dt_;
+  double exchange_s = 0, gravity_s = 0, hydro_s = 0;
+  const auto timed_phase = [](double& acc, auto&& fn) {
+    const stopwatch w;
+    fn();
+    acc += w.seconds();
+  };
   {
     std::vector<amt::future<void>> futs;
     for (const index_t l : topo_->leaves())
@@ -327,17 +453,14 @@ real cluster::step() {
     amt::wait_all(futs, space_.runtime());
   }
 
-  hydro_stage(dt, 0, 1);
-  exchange_ghosts();
-  if (opt_.sim.self_gravity) solve_gravity();
-
-  hydro_stage(dt, real(0.75), real(0.25));
-  exchange_ghosts();
-  if (opt_.sim.self_gravity) solve_gravity();
-
-  hydro_stage(dt, real(1) / 3, real(2) / 3);
-  exchange_ghosts();
-  if (opt_.sim.self_gravity) solve_gravity();
+  const std::pair<real, real> stages[] = {
+      {0, 1}, {real(0.75), real(0.25)}, {real(1) / 3, real(2) / 3}};
+  for (const auto& [ca, cb] : stages) {
+    timed_phase(hydro_s, [&] { hydro_stage(dt, ca, cb); });
+    timed_phase(exchange_s, [&] { exchange_ghosts(); });
+    if (opt_.sim.self_gravity)
+      timed_phase(gravity_s, [&] { solve_gravity(); });
+  }
 
   time_ += dt;
   ++steps_;
@@ -345,6 +468,36 @@ real cluster::step() {
   // app::simulation::step(); dt_ previously stayed frozen at its
   // initialize() value for the cluster's whole lifetime).
   if (opt_.sim.fixed_dt <= 0) dt_ = compute_dt();
+  update_replicas();
+
+  // Per-step observability: transport counters are emitted as this-step
+  // deltas so retries/timeouts line up with cells/second; recovery totals
+  // accumulated since the last record ride along.
+  apex::step_record rec;
+  rec.step = steps_;
+  rec.time = static_cast<double>(time_);
+  rec.dt = static_cast<double>(dt);
+  rec.step_seconds = step_watch.seconds();
+  rec.exchange_seconds = exchange_s;
+  rec.gravity_seconds = gravity_s;
+  rec.hydro_seconds = hydro_s;
+  rec.subgrids = static_cast<std::uint64_t>(topo_->num_leaves());
+  rec.cells = rec.subgrids *
+              static_cast<std::uint64_t>(grid::subgrid::N) *
+              grid::subgrid::N * grid::subgrid::N;
+  const transport_stats ts = transport_statistics();
+  rec.transport_retries = ts.retries - last_transport_stats_.retries;
+  rec.transport_timeouts = ts.timeouts - last_transport_stats_.timeouts;
+  rec.transport_dups_dropped =
+      ts.dups_dropped - last_transport_stats_.dups_dropped;
+  last_transport_stats_ = ts;
+  rec.localities_lost = pending_localities_lost_;
+  rec.leaves_migrated = pending_leaves_migrated_;
+  pending_localities_lost_ = 0;
+  pending_leaves_migrated_ = 0;
+  rec.finalize();
+  last_metrics_ = rec;
+  if (metrics_ != nullptr) metrics_->emit(rec);
   return dt;
 }
 

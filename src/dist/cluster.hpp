@@ -26,12 +26,27 @@
 /// common/fault.hpp) is detected at unpack time and fails the whole
 /// exchange loudly instead of being silently integrated — the trigger for
 /// `dist::run_with_checkpoints` rollback (dist/checkpoint.hpp).
+///
+/// Serialized slabs additionally route through `dist::transport`
+/// (transport.hpp): sequence numbers, acknowledgements, retransmission
+/// with backoff, duplicate suppression — so the exchange completes
+/// bitwise-identically under message drop / delay / duplication /
+/// reordering, and a genuinely lost slab fails the exchange with
+/// `transport_error` instead of deadlocking the receive side.  Locality
+/// death is detected by a per-step heartbeat deadline and survived online
+/// via `recovery.hpp`: the partition shrinks over the survivors and the
+/// dead leaves are restored from in-memory buddy replicas (kept on the
+/// SFC-neighbor locality) or the newest valid checkpoint.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "amt/channel.hpp"
+#include "apex/metrics.hpp"
 #include "app/simulation.hpp"
+#include "dist/recovery.hpp"
+#include "dist/transport.hpp"
 #include "tree/partition.hpp"
 
 namespace octo::dist {
@@ -40,6 +55,17 @@ struct dist_options {
   int num_localities = 2;
   /// The paper's §VII-B same-locality direct-access optimization.
   bool local_optimization = true;
+  /// Route every serialized slab through the reliable transport layer
+  /// (sequencing/ack/retry).  Off = the seed's bare-channel path, kept as
+  /// the baseline for measuring the robustness tax (bench_fig8).
+  bool reliable_transport = true;
+  transport_options transport{};
+  /// Heartbeat deadline for locality-failure detection; a locality that
+  /// has not beaten this long after the step opened is declared dead.
+  double heartbeat_deadline_ms = 25;
+  /// Keep an in-memory buddy replica of every leaf's state on the next
+  /// surviving locality along the SFC — the online recovery source.
+  bool buddy_replication = true;
   app::sim_options sim{};
 };
 
@@ -69,10 +95,30 @@ class cluster {
   /// the state an uninterrupted run carries after the same step.
   void restore_state(real time, std::int64_t step, const exchange_stats& st);
 
+  /// Live locality-failure recovery (implemented in recovery.cpp): mark
+  /// \p dead localities dead, shrink the partition over the survivors,
+  /// restore the lost leaves from buddy replicas — or roll the whole
+  /// cluster back to the newest valid checkpoint in \p ckpt_dir when a
+  /// replica is unavailable — rebuild channels and transport, and
+  /// re-derive ghosts, gravity and dt.  Throws octo::error when neither
+  /// recovery source exists.
+  void recover_locality_failure(const std::vector<int>& dead,
+                                const std::string& ckpt_dir = {});
+
   const tree::topology& topo() const { return *topo_; }
   const tree::partition_result& partition() const { return part_; }
   const exchange_stats& stats() const { return stats_; }
+  transport_stats transport_statistics() const;
   const exec::amt_space& space() const { return space_; }
+  bool locality_alive(int loc) const {
+    return locality_alive_[static_cast<std::size_t>(loc)] != 0;
+  }
+  int live_localities() const;
+
+  /// Per-step observability (mirrors app::simulation): one step_record per
+  /// step() with transport/recovery counters next to cells/second.
+  void set_metrics_sink(apex::metrics_sink* sink) { metrics_ = sink; }
+  const apex::step_record& last_step_metrics() const { return last_metrics_; }
 
   grid::subgrid& leaf(index_t node);
   const grid::subgrid& leaf(index_t node) const;
@@ -95,6 +141,20 @@ class cluster {
   real compute_dt();
   int owner(index_t node) const { return part_.owner(node); }
 
+  /// Fresh boundary channels and a fresh transport epoch; old channels are
+  /// closed first so stragglers (pending receives, delayed in-flight
+  /// frames) fail or drop instead of corrupting the next exchange.
+  void rebuild_channels();
+  /// Heartbeat round at the top of step(): fires any armed locality kill,
+  /// scrubs the victim's leaves, and throws locality_failure for every
+  /// locality silent past the deadline.
+  void detect_locality_failures();
+  /// Refresh the buddy replicas (leaf state copied to the next surviving
+  /// locality along the SFC) after a completed step.
+  void update_replicas();
+  /// Next surviving locality after \p loc on the locality ring.
+  int buddy_of(int loc) const;
+
   scen::scenario scenario_;
   dist_options opt_;
   exec::amt_space space_;
@@ -108,7 +168,25 @@ class cluster {
   std::vector<std::vector<index_t>> leaves_by_level_;
 
   /// channels_[leaf_slot * 26 + dir]: inbound slab from direction dir.
-  std::vector<std::unique_ptr<amt::channel<boundary_msg>>> channels_;
+  /// shared_ptr so a delayed transport frame delivering after a rebuild
+  /// lands in the old, closed channel (dropped) instead of freed memory.
+  std::vector<std::shared_ptr<amt::channel<boundary_msg>>> channels_;
+  std::unique_ptr<transport> transport_;
+
+  /// Liveness and recovery state.
+  std::vector<char> locality_alive_;
+  heartbeat_monitor monitor_;
+  /// Buddy replicas, indexed by leaf slot: a copy of the leaf's state and
+  /// the locality "holding" it (the owner's SFC successor).
+  std::vector<grid::subgrid> replicas_;
+  std::vector<int> replica_holder_;
+  /// Recovery totals folded into the next step_record.
+  std::uint64_t pending_localities_lost_ = 0;
+  std::uint64_t pending_leaves_migrated_ = 0;
+  transport_stats last_transport_stats_{};
+
+  apex::metrics_sink* metrics_ = nullptr;
+  apex::step_record last_metrics_{};
 
   exchange_stats stats_;
   real time_ = 0;

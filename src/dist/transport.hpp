@@ -1,0 +1,106 @@
+#pragma once
+/// \file transport.hpp
+/// Reliable delivery over an unreliable in-process "network".
+///
+/// The seed cluster assumed every `channel::send` arrives exactly once: a
+/// single lost slab deadlocked the receive side forever.  At Fugaku scale
+/// the HPX parcelport absorbs message loss, delay, duplication and
+/// reordering; this layer reproduces that contract for every *serialized*
+/// boundary slab (remote pairs, and same-locality pairs with the §VII-B
+/// optimization off):
+///
+///   * per-link monotonic sequence numbers — a link is one directed
+///     (receiving leaf, direction) channel;
+///   * receiver acknowledgements, with a configurable ack deadline
+///     (amt::future::wait_until under the hood, helping the scheduler);
+///   * bounded retransmission with exponential backoff and deterministic
+///     jitter; `transport_error` (an octo::error, so the checkpoint
+///     rollback and recovery drivers catch it) once retries are exhausted
+///     or the destination locality is dead;
+///   * duplicate suppression on the receive side: a late or duplicated
+///     frame is acknowledged but never unpacked twice, so the ghost
+///     exchange stays idempotent and bitwise identical to a fault-free run.
+///
+/// The "network" consults common/fault.hpp on every transit —
+/// OCTO_FAULT_MSG_DROP / MSG_DELAY_US / MSG_DUP / MSG_REORDER — and
+/// delivers frames as tasks on the cluster's runtime, so delayed and
+/// reordered arrivals genuinely race with the exchange.  Acks travel the
+/// same lossy path (a delivered-but-unacked frame forces a retransmission
+/// that the dedup filter then absorbs).
+///
+/// Observability: apex counters `transport.messages`, `transport.retries`,
+/// `transport.timeouts`, `transport.dups_dropped`, `transport.acks` and
+/// spans `transport.send` / `transport.retry` around the retry loop.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "amt/runtime.hpp"
+#include "common/error.hpp"
+
+namespace octo::dist {
+
+/// Delivery failure after retries exhausted (or peer locality dead).
+class transport_error : public error {
+ public:
+  explicit transport_error(const std::string& what) : error(what) {}
+};
+
+struct transport_options {
+  double ack_timeout_ms = 10;  ///< first attempt's ack deadline
+  int max_retries = 10;        ///< retransmissions after the first attempt
+  double backoff_factor = 2;   ///< deadline growth per retransmission
+  double jitter = 0.25;        ///< deadline noise, fraction of the window
+};
+
+/// Monotonic counters, snapshotted by stats().
+struct transport_stats {
+  std::uint64_t messages = 0;      ///< reliable sends completed
+  std::uint64_t retries = 0;       ///< retransmission attempts
+  std::uint64_t timeouts = 0;      ///< expired ack waits
+  std::uint64_t dups_dropped = 0;  ///< receiver-side duplicate suppressions
+  std::uint64_t acks = 0;          ///< acknowledgements received
+  std::uint64_t frames_sent = 0;   ///< transmit attempts (incl. dup copies)
+  std::uint64_t header_bytes = 0;  ///< seq/ack wire overhead, all attempts
+};
+
+class transport {
+ public:
+  /// Receiver-side payload sink for one message (typically channel::send).
+  using deliver_fn = std::function<void(std::vector<std::uint8_t>)>;
+
+  /// Per-frame wire overhead the reliability adds: seq (8) + link id (4) +
+  /// flags (4) on a data frame, seq (8) + link id (4) on an ack.
+  static constexpr std::size_t frame_header_bytes = 16;
+  static constexpr std::size_t ack_header_bytes = 12;
+
+  /// \p num_links directed links; frames are delivered as tasks on \p rt.
+  transport(int num_links, transport_options opt, amt::runtime& rt);
+  ~transport();
+
+  transport(const transport&) = delete;
+  transport& operator=(const transport&) = delete;
+
+  /// Reliable delivery of \p payload over \p link: assign the link's next
+  /// sequence number, transmit, and block (helping the scheduler) until
+  /// the receiver acknowledges.  Retransmits on ack timeout with
+  /// exponential backoff + jitter; throws transport_error after
+  /// max_retries, or immediately when either locality is dead.
+  /// \p deliver runs exactly once per sequence number, on the delivery
+  /// task, no matter how many copies of the frame arrive.
+  void send(int link, int src_loc, int dst_loc,
+            std::vector<std::uint8_t> payload, deliver_fn deliver);
+
+  transport_stats stats() const;
+
+  /// Shared implementation state (defined in transport.cpp); public so the
+  /// free transmit/deliver helpers there can take it without friendship.
+  struct state;
+
+ private:
+  std::shared_ptr<state> state_;
+};
+
+}  // namespace octo::dist

@@ -64,6 +64,45 @@ partition_result partition_equal_count(const topology& topo,
   return assign(topo, num_localities, c);
 }
 
+partition_result partition_shrink(const topology& topo,
+                                  const partition_result& old,
+                                  const std::vector<int>& dead,
+                                  const std::vector<real>& cost) {
+  // Survivor ids, ascending — ascending order is what keeps the owner
+  // sequence along the Morton curve monotone after the rank -> id remap.
+  std::vector<bool> is_dead(static_cast<std::size_t>(old.num_localities),
+                            false);
+  for (const int d : dead) {
+    OCTO_CHECK_MSG(d >= 0 && d < old.num_localities,
+                   "partition_shrink: dead locality " << d
+                                                      << " out of range");
+    is_dead[static_cast<std::size_t>(d)] = true;
+  }
+  std::vector<int> survivors;
+  for (int l = 0; l < old.num_localities; ++l)
+    if (!is_dead[static_cast<std::size_t>(l)]) survivors.push_back(l);
+  OCTO_CHECK_MSG(!survivors.empty(),
+                 "partition_shrink: no surviving localities");
+
+  // Fresh cost-balanced SFC split over the survivor count, then remap the
+  // contiguous ranks onto the surviving original ids.
+  const auto ranked = partition_sfc(
+      topo, static_cast<int>(survivors.size()), cost);
+
+  partition_result part;
+  part.num_localities = old.num_localities;
+  part.owner_of_node.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+  part.leaves_of_locality.assign(
+      static_cast<std::size_t>(old.num_localities), {});
+  for (index_t n = 0; n < topo.num_nodes(); ++n)
+    part.owner_of_node[static_cast<std::size_t>(n)] =
+        survivors[static_cast<std::size_t>(ranked.owner(n))];
+  for (std::size_t rank = 0; rank < survivors.size(); ++rank)
+    part.leaves_of_locality[static_cast<std::size_t>(survivors[rank])] =
+        ranked.leaves_of_locality[rank];
+  return part;
+}
+
 real remote_link_fraction(const topology& topo,
                           const partition_result& part) {
   index_t total = 0;

@@ -35,6 +35,20 @@ partition_result partition_sfc(const topology& topo, int num_localities,
 partition_result partition_equal_count(const topology& topo,
                                        int num_localities);
 
+/// Shrink-aware repartition after locality failure: redistribute every
+/// leaf over the localities of \p old NOT listed in \p dead.  Survivors
+/// keep their original locality ids (so armed fault knobs, replicas and
+/// statistics keyed by id stay meaningful); each survivor receives one
+/// Morton-contiguous segment of approximately equal cost, exactly as a
+/// fresh partition_sfc over the survivor set would.  `leaves_of_locality`
+/// stays sized to the original locality count with empty entries for the
+/// dead.  Throws when every locality is dead or \p dead contains an
+/// out-of-range id.
+partition_result partition_shrink(const topology& topo,
+                                  const partition_result& old,
+                                  const std::vector<int>& dead,
+                                  const std::vector<real>& cost = {});
+
 /// Fraction of neighbor links (leaf, 26-dir, same-or-coarser) that cross a
 /// locality boundary — the communication surface the paper's §VII-B
 /// optimization targets.

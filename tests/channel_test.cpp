@@ -61,6 +61,82 @@ TEST_F(ChannelTest, ContinuationOnReceive) {
   EXPECT_EQ(f.get(rt), 21);
 }
 
+TEST_F(ChannelTest, ClosedChannelFailsPendingReceives) {
+  channel<int> ch;
+  auto f1 = ch.receive();
+  auto f2 = ch.receive();
+  ch.close();
+  EXPECT_THROW(f1.get(rt), broken_channel);
+  EXPECT_THROW(f2.get(rt), broken_channel);
+}
+
+TEST_F(ChannelTest, ClosedChannelFailsFutureReceives) {
+  channel<int> ch;
+  ch.close();
+  auto f = ch.receive();
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_THROW(f.get(rt), broken_channel);
+}
+
+TEST_F(ChannelTest, CloseDropsSendsAndBufferedValues) {
+  channel<int> ch;
+  ch.send(1);
+  ch.close();
+  EXPECT_EQ(ch.buffered(), 0u);
+  ch.send(2);  // dropped, not buffered, no throw
+  EXPECT_EQ(ch.buffered(), 0u);
+  EXPECT_TRUE(ch.is_closed());
+}
+
+TEST_F(ChannelTest, CloseIsIdempotent) {
+  channel<int> ch;
+  auto f = ch.receive();
+  ch.close();
+  ch.close();
+  EXPECT_THROW(f.get(rt), broken_channel);
+}
+
+TEST_F(ChannelTest, CloseRacesConcurrentReceivers) {
+  channel<int> ch;
+  std::vector<future<int>> futs;
+  for (int i = 0; i < 64; ++i) futs.push_back(ch.receive());
+  rt.post([&ch] { ch.close(); });
+  int broken = 0;
+  for (auto& f : futs) {
+    try {
+      f.get(rt);
+    } catch (const broken_channel&) {
+      ++broken;
+    }
+  }
+  EXPECT_EQ(broken, 64);
+}
+
+TEST_F(ChannelTest, ReceiveForReturnsBufferedValueImmediately) {
+  channel<int> ch;
+  ch.send(42);
+  const auto v = ch.receive_for(std::chrono::milliseconds(1), rt);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST_F(ChannelTest, ReceiveForTimesOutAndCancelsItsSlot) {
+  channel<int> ch;
+  const auto v = ch.receive_for(std::chrono::milliseconds(2), rt);
+  EXPECT_FALSE(v.has_value());
+  // The abandoned waiter must not swallow the next send.
+  EXPECT_EQ(ch.waiting(), 0u);
+  ch.send(7);
+  EXPECT_EQ(ch.receive().get(rt), 7);
+}
+
+TEST_F(ChannelTest, ReceiveForThrowsOnClosedChannel) {
+  channel<int> ch;
+  ch.close();
+  EXPECT_THROW(ch.receive_for(std::chrono::milliseconds(1), rt),
+               broken_channel);
+}
+
 TEST_F(ChannelTest, ProducerConsumerStress) {
   channel<int> ch;
   constexpr int N = 2000;

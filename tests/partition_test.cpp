@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tree/partition.hpp"
 
 namespace octo::tree {
@@ -90,6 +92,86 @@ TEST(Partition, MoreLocalitiesThanLeaves) {
   std::size_t nonempty = 0;
   for (const auto& ll : p.leaves_of_locality) nonempty += !ll.empty();
   EXPECT_EQ(nonempty, 8u);
+}
+
+TEST(PartitionShrink, EveryLeafExactlyOneSurvivingOwner) {
+  topology t(1.0, 2, uniform_to(2));
+  const auto old = partition_sfc(t, 4);
+  const auto p = partition_shrink(t, old, {1});
+  ASSERT_EQ(p.num_localities, 4);
+  EXPECT_TRUE(p.leaves_of_locality[1].empty());
+  std::size_t total = 0;
+  for (const auto& ll : p.leaves_of_locality) total += ll.size();
+  EXPECT_EQ(total, static_cast<std::size_t>(t.num_leaves()));
+  for (const index_t leaf : t.leaves()) {
+    const int o = p.owner(leaf);
+    EXPECT_NE(o, 1);
+    EXPECT_GE(o, 0);
+    EXPECT_LT(o, 4);
+    // The per-locality lists agree with owner_of_node.
+    const auto& ll = p.leaves_of_locality[static_cast<std::size_t>(o)];
+    EXPECT_NE(std::find(ll.begin(), ll.end(), leaf), ll.end());
+  }
+}
+
+TEST(PartitionShrink, SurvivorsKeepOriginalIdsAndSfcContiguity) {
+  topology t(1.0, 2, uniform_to(2));
+  const auto old = partition_sfc(t, 4);
+  const auto p = partition_shrink(t, old, {2});
+  // Owners along the Morton leaf order are non-decreasing over the
+  // surviving ids {0, 1, 3}: contiguous curve segments, original labels.
+  int prev = -1;
+  for (const index_t leaf : t.leaves()) {
+    EXPECT_GE(p.owner(leaf), prev);
+    prev = p.owner(leaf);
+  }
+  EXPECT_EQ(prev, 3);  // the last survivor owns the curve's tail
+}
+
+TEST(PartitionShrink, LoadStaysBalancedAcrossSurvivors) {
+  topology t(1.0, 2, uniform_to(2));
+  const auto old = partition_sfc(t, 4);
+  const auto p = partition_shrink(t, old, {0});
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (int l = 1; l < 4; ++l) {
+    const auto n = p.leaves_of_locality[static_cast<std::size_t>(l)].size();
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_GE(lo, 1u);
+  EXPECT_LE(hi - lo, static_cast<std::size_t>(t.num_leaves()) / 3 + 1);
+}
+
+TEST(PartitionShrink, MultipleDeadAndInteriorPropagation) {
+  topology t(1.0, 2, uniform_to(2));
+  const auto old = partition_sfc(t, 5);
+  const auto p = partition_shrink(t, old, {0, 3});
+  for (index_t n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_NE(p.owner(n), 0);
+    EXPECT_NE(p.owner(n), 3);
+    const auto& nd = t.node(n);
+    if (!nd.leaf) EXPECT_EQ(p.owner(n), p.owner(nd.children[0]));
+  }
+}
+
+TEST(PartitionShrink, ShrinkOfShrinkKeepsRemainingSurvivors) {
+  topology t(1.0, 2, uniform_to(2));
+  const auto old = partition_sfc(t, 4);
+  const auto once = partition_shrink(t, old, {1});
+  const auto twice = partition_shrink(t, once, {1, 3});
+  EXPECT_TRUE(twice.leaves_of_locality[1].empty());
+  EXPECT_TRUE(twice.leaves_of_locality[3].empty());
+  std::size_t total = 0;
+  for (const auto& ll : twice.leaves_of_locality) total += ll.size();
+  EXPECT_EQ(total, static_cast<std::size_t>(t.num_leaves()));
+}
+
+TEST(PartitionShrink, RejectsAllDeadAndOutOfRange) {
+  topology t(1.0, 1, uniform_to(1));
+  const auto old = partition_sfc(t, 2);
+  EXPECT_THROW(partition_shrink(t, old, {0, 1}), error);
+  EXPECT_THROW(partition_shrink(t, old, {2}), error);
+  EXPECT_THROW(partition_shrink(t, old, {-1}), error);
 }
 
 }  // namespace
