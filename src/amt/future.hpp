@@ -8,8 +8,24 @@
 ///     kernel, then send boundary" without fork-join barriers (§IV-B);
 ///   * `get()`/`wait()` called from a worker thread help-execute pending
 ///     tasks instead of blocking, so nested waits cannot starve the pool;
-///   * `when_all` composes vectors of futures into one.
+///   * `when_all` composes vectors of futures into one;
+///   * `shared_future` is the copyable handle used as a dependency edge in
+///     task graphs (many readers of one producer);
+///   * `dataflow(f, deps)` schedules `f` as a task the moment every
+///     dependency resolves, *without* parking a worker on a wait — the
+///     primitive behind the per-leaf dependency-driven time step (the
+///     paper's Fig. 9 lesson, expressed as dependencies instead of
+///     barriers).  A dependency that carries an exception is propagated to
+///     the task's future without running `f`, scanning deps in order so the
+///     surfaced error is deterministic.
+///
+/// Observability: `amt.tasks_deferred` counts dataflow attachments that
+/// found at least one unresolved input (the graph genuinely deferred work);
+/// `amt.continuations_inline` counts continuations run inline on the thread
+/// that produced the value (then_inline / dataflow bookkeeping).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <memory>
@@ -22,6 +38,7 @@
 
 #include "amt/runtime.hpp"
 #include "amt/unique_function.hpp"
+#include "apex/apex.hpp"
 #include "common/error.hpp"
 
 namespace octo::amt {
@@ -30,10 +47,24 @@ template <typename T>
 class future;
 template <typename T>
 class promise;
+template <typename T>
+class shared_future;
 
 namespace detail {
 
 struct unit {};
+
+/// Combinator counters (lazily registered; apex is linked below amt).
+struct combinator_counters {
+  apex::metric_id tasks_deferred =
+      apex::registry::instance().counter("amt.tasks_deferred");
+  apex::metric_id continuations_inline =
+      apex::registry::instance().counter("amt.continuations_inline");
+};
+inline combinator_counters& counters() {
+  static combinator_counters c;
+  return c;
+}
 
 /// Result type of a continuation F applied to a future<T>'s value
 /// (F() for T == void).  Lazily evaluated so only the valid branch is
@@ -292,7 +323,10 @@ class future {
       }
     };
     if (inline_continuation) {
-      state->add_continuation(std::move(run));
+      state->add_continuation([run = std::move(run)]() mutable {
+        apex::registry::instance().add(detail::counters().continuations_inline);
+        run();
+      });
     } else {
       auto* rt_ptr = &rt;
       state->add_continuation(
@@ -310,6 +344,48 @@ template <typename T>
 future<T> promise<T>::get_future() {
   return future<T>(state_);
 }
+
+/// Copyable view of a future — the dependency-edge handle of a task graph.
+/// Many consumers may hold the same shared_future; none consumes the value
+/// (get() copies via peek()).  Constructed by moving from a future, which
+/// shares (not duplicates) the underlying state.
+template <typename T>
+class shared_future {
+ public:
+  shared_future() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): future -> shared is the
+  // natural decay, mirroring std::future::share().
+  shared_future(future<T>&& f) : state_(f.state()) {}
+  explicit shared_future(std::shared_ptr<detail::shared_state<T>> s)
+      : state_(std::move(s)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool is_ready() const { return state_ && state_->ready(); }
+  bool has_exception() const { return state_ && state_->has_exception(); }
+
+  void wait(runtime& rt = runtime::global()) const {
+    OCTO_ASSERT(valid());
+    state_->wait(&rt);
+  }
+
+  /// Wait and read.  Non-void: returns a const reference to the stored
+  /// value (many readers — nobody takes it).  Rethrows a stored exception.
+  decltype(auto) get(runtime& rt = runtime::global()) const {
+    OCTO_ASSERT(valid());
+    state_->wait(&rt);
+    if constexpr (std::is_void_v<T>) {
+      (void)state_->peek();  // rethrows a stored exception
+      return;
+    } else {
+      return state_->peek();
+    }
+  }
+
+  std::shared_ptr<detail::shared_state<T>> state() const { return state_; }
+
+ private:
+  std::shared_ptr<detail::shared_state<T>> state_;
+};
 
 // ---------------------------------------------------------------------------
 // factories and combinators
@@ -436,6 +512,155 @@ void get_all(std::vector<future<T>>& futures,
     }
   }
   if (first) std::rethrow_exception(first);
+}
+
+// ---------------------------------------------------------------------------
+// dataflow: dependency-driven task scheduling
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Exception stored in a void shared state, or nullptr.  (peek() rethrows;
+/// this captures instead, for deterministic first-error scans.)
+inline std::exception_ptr stored_exception(
+    const std::shared_ptr<shared_state<void>>& s) {
+  if (!s->has_exception()) return nullptr;
+  try {
+    (void)s->peek();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+/// First exception held by \p deps, scanned in order (deterministic no
+/// matter which dependency failed first in wall-clock time).
+inline std::exception_ptr first_dep_error(
+    const std::vector<shared_future<void>>& deps) {
+  for (const auto& d : deps)
+    if (auto e = stored_exception(d.state())) return e;
+  return nullptr;
+}
+
+}  // namespace detail
+
+/// Schedule `f()` as a task once every dependency in \p deps has resolved.
+/// No worker blocks while inputs are pending: a join counter decrements on
+/// each dependency's completion (inline on the producing thread) and the
+/// last one posts the task.  If any dependency carries an exception, `f` is
+/// *not* run and the returned future carries the first exception in \p deps
+/// order.  Invalid (default-constructed) entries in \p deps are ignored, so
+/// callers can keep optional edges in fixed-shape arrays.
+template <typename F>
+auto dataflow(F&& f, std::vector<shared_future<void>> deps,
+              runtime& rt = runtime::global())
+    -> future<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  // Drop invalid edges up front so the join counter is exact.
+  deps.erase(std::remove_if(deps.begin(), deps.end(),
+                            [](const shared_future<void>& d) {
+                              return !d.valid();
+                            }),
+             deps.end());
+
+  struct node_state {
+    std::atomic<std::size_t> remaining;
+    std::vector<shared_future<void>> deps;  ///< kept for the error scan
+    promise<R> done;
+    std::decay_t<F> fn;
+    runtime* rt;
+    node_state(std::size_t n, std::vector<shared_future<void>> d, F&& func,
+               runtime* r)
+        : remaining(n), deps(std::move(d)), fn(std::forward<F>(func)), rt(r) {}
+
+    void fire() {
+      rt->post([self = this->self.lock()] {
+        if (auto e = detail::first_dep_error(self->deps)) {
+          self->done.set_exception(e);
+          return;
+        }
+        try {
+          if constexpr (std::is_void_v<R>) {
+            self->fn();
+            self->done.set_value();
+          } else {
+            self->done.set_value(self->fn());
+          }
+        } catch (...) {
+          self->done.set_exception(std::current_exception());
+        }
+      });
+    }
+    std::weak_ptr<node_state> self;
+  };
+
+  auto deps_copy = deps;  // continuation registration iterates the original
+  auto ns = std::make_shared<node_state>(deps.size() + 1, std::move(deps),
+                                         std::forward<F>(f), &rt);
+  ns->self = ns;
+  auto result = ns->done.get_future();
+
+  bool deferred = false;
+  for (auto& d : deps_copy) {
+    if (!d.is_ready()) deferred = true;
+    d.state()->add_continuation([ns] {
+      if (ns->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        ns->fire();
+    });
+  }
+  if (deferred)
+    apex::registry::instance().add(detail::counters().tasks_deferred);
+  // The +1 creation token: fires the task here when every dependency was
+  // already satisfied (or the list was empty).
+  if (ns->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) ns->fire();
+  return result;
+}
+
+/// All shared dependencies resolved -> future<void>, resolved *inline* on
+/// the last producer (no task posted): the cheap pure-join node of a task
+/// graph.  Exceptions: first one in \p deps order wins.
+inline future<void> when_all(std::vector<shared_future<void>> deps,
+                             runtime& rt = runtime::global()) {
+  (void)rt;
+  deps.erase(std::remove_if(deps.begin(), deps.end(),
+                            [](const shared_future<void>& d) {
+                              return !d.valid();
+                            }),
+             deps.end());
+  if (deps.empty()) return make_ready_future();
+  struct join_state {
+    std::atomic<std::size_t> remaining;
+    std::vector<shared_future<void>> deps;
+    promise<void> done;
+    join_state(std::size_t n, std::vector<shared_future<void>> d)
+        : remaining(n), deps(std::move(d)) {}
+  };
+  auto js = std::make_shared<join_state>(deps.size(), deps);
+  auto result = js->done.get_future();
+  for (auto& d : deps) {
+    d.state()->add_continuation([js] {
+      if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (auto e = detail::first_dep_error(js->deps))
+          js->done.set_exception(e);
+        else
+          js->done.set_value();
+      }
+    });
+  }
+  return result;
+}
+
+/// get_all over shared edges: wait for every one (helping), then rethrow
+/// the first exception in vector order — the deterministic error of a
+/// drained task graph.
+inline void get_all(const std::vector<shared_future<void>>& futures,
+                    runtime& rt = runtime::global()) {
+  for (const auto& f : futures)
+    if (f.valid()) f.wait(rt);
+  for (const auto& f : futures)
+    if (f.valid())
+      if (auto e = detail::stored_exception(f.state()))
+        std::rethrow_exception(e);
 }
 
 }  // namespace octo::amt

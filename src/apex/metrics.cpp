@@ -29,10 +29,10 @@ void metrics_sink::emit(const step_record& rec) {
       out_ << "step,time,dt,step_seconds,exchange_seconds,gravity_seconds,"
               "hydro_seconds,subgrids,cells,cells_per_sec,"
               "transport_retries,transport_timeouts,transport_dups_dropped,"
-              "localities_lost,leaves_migrated\n";
+              "localities_lost,leaves_migrated,idle_fraction\n";
     std::snprintf(line, sizeof line,
                   "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%llu,%.9g,"
-                  "%llu,%llu,%llu,%llu,%llu\n",
+                  "%llu,%llu,%llu,%llu,%llu,%.9g\n",
                   rec.step, rec.time, rec.dt, rec.step_seconds,
                   rec.exchange_seconds, rec.gravity_seconds,
                   rec.hydro_seconds,
@@ -43,7 +43,8 @@ void metrics_sink::emit(const step_record& rec) {
                   static_cast<unsigned long long>(rec.transport_timeouts),
                   static_cast<unsigned long long>(rec.transport_dups_dropped),
                   static_cast<unsigned long long>(rec.localities_lost),
-                  static_cast<unsigned long long>(rec.leaves_migrated));
+                  static_cast<unsigned long long>(rec.leaves_migrated),
+                  rec.idle_fraction);
   } else {
     std::snprintf(
         line, sizeof line,
@@ -52,7 +53,8 @@ void metrics_sink::emit(const step_record& rec) {
         "\"hydro_seconds\":%.9g,\"subgrids\":%llu,\"cells\":%llu,"
         "\"cells_per_sec\":%.9g,\"transport_retries\":%llu,"
         "\"transport_timeouts\":%llu,\"transport_dups_dropped\":%llu,"
-        "\"localities_lost\":%llu,\"leaves_migrated\":%llu}\n",
+        "\"localities_lost\":%llu,\"leaves_migrated\":%llu,"
+        "\"idle_fraction\":%.9g}\n",
         rec.step, rec.time, rec.dt, rec.step_seconds, rec.exchange_seconds,
         rec.gravity_seconds, rec.hydro_seconds,
         static_cast<unsigned long long>(rec.subgrids),
@@ -61,7 +63,8 @@ void metrics_sink::emit(const step_record& rec) {
         static_cast<unsigned long long>(rec.transport_timeouts),
         static_cast<unsigned long long>(rec.transport_dups_dropped),
         static_cast<unsigned long long>(rec.localities_lost),
-        static_cast<unsigned long long>(rec.leaves_migrated));
+        static_cast<unsigned long long>(rec.leaves_migrated),
+        rec.idle_fraction);
   }
   out_ << line;
   out_.flush();  // steps are seconds-scale; make records crash-durable

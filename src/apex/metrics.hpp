@@ -38,6 +38,10 @@ struct step_record {
   /// Locality-failure recovery folded into this step (dist/recovery.hpp).
   std::uint64_t localities_lost = 0;
   std::uint64_t leaves_migrated = 0;
+  /// Worker idle time this step as a fraction of step_seconds x workers
+  /// (from amt::runtime_stats::idle_ns deltas) — the measured series behind
+  /// the barrier-vs-dataflow comparison (Fig. 9's starvation, quantified).
+  double idle_fraction = 0;
 
   /// Fill cells_per_sec from cells and step_seconds.
   void finalize() {

@@ -6,6 +6,7 @@
 #include "amt/future.hpp"
 #include "apex/apex.hpp"
 #include "apex/trace.hpp"
+#include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
@@ -13,6 +14,14 @@
 namespace octo::app {
 
 using grid::subgrid;
+
+step_mode default_step_mode() {
+  static const step_mode mode = [] {
+    const auto v = config::env("OCTO_STEP_MODE");
+    return (v && *v == "dataflow") ? step_mode::dataflow : step_mode::barrier;
+  }();
+  return mode;
+}
 
 simulation::simulation(const scen::scenario& sc, sim_options opt,
                        exec::amt_space space)
@@ -223,15 +232,7 @@ void simulation::hydro_stage(real dt, real ca, real cb) {
   phase_hydro_s_ += phase_watch.seconds();
 }
 
-real simulation::step() {
-  OCTO_CHECK_MSG(initialized_, "call initialize() first");
-  const apex::scoped_timer apex_t(timers().step);
-  const apex::scoped_trace_span trace_span("app.step");
-  apex::registry::instance().add(timers().steps_counter);
-  const real dt = dt_;
-  const stopwatch step_watch;
-  phase_exchange_s_ = phase_gravity_s_ = phase_hydro_s_ = 0;
-
+void simulation::step_barrier(real dt) {
   // Save u0 for the RK combination.
   {
     std::vector<amt::future<void>> futs;
@@ -257,16 +258,306 @@ real simulation::step() {
   hydro_stage(dt, real(1) / 3, real(2) / 3);
   exchange_ghosts();
   if (opt_.self_gravity) solve_gravity();
+}
+
+void simulation::step_graph(real dt) {
+  using sf = amt::shared_future<void>;
+  auto& rt = space_.runtime();
+  const auto nn = static_cast<std::size_t>(topo_->num_nodes());
+  const auto& leaves = topo_->leaves();
+
+  // Prolongation relations: fine leaf -> distinct coarser leaf hosts, and
+  // the reverse (host -> fine clients).  Fixed per topology.
+  std::vector<std::vector<index_t>> phosts(nn), pclients(nn);
+  for (const index_t l : leaves) {
+    const auto& nd = topo_->node(l);
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      if (nd.neighbors[d] != tree::invalid_node) continue;
+      const index_t host = topo_->neighbor_or_coarser(l, d);
+      if (host == tree::invalid_node) continue;  // domain boundary
+      auto& hs = phosts[static_cast<std::size_t>(l)];
+      if (std::find(hs.begin(), hs.end(), host) == hs.end()) {
+        hs.push_back(host);
+        pclients[static_cast<std::size_t>(host)].push_back(l);
+      }
+    }
+  }
+
+  std::vector<sf> all;  // every task in build order: the step's one join
+  all.reserve(nn * 16);
+  const auto track = [&all](sf f) {
+    all.push_back(f);
+    return f;
+  };
+
+  const real CA[3] = {0, real(0.75), real(1) / 3};
+  const real CB[3] = {1, real(0.25), real(2) / 3};
+
+  // u0 snapshot: per-leaf tasks (step entry is a resolved point, no deps).
+  std::vector<sf> snap(nn);
+  for (const index_t l : leaves)
+    snap[static_cast<std::size_t>(l)] = track(amt::dataflow(
+        [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+        std::vector<sf>{}, rt));
+
+  // Per-stage edges of the previous RK stage (WAR/WAW hazards).
+  std::vector<sf> prevH(nn), prevR(nn), prevC(nn), prevP(nn), prevD(nn);
+  gravity::fmm_solver::solve_graph gprev;
+  bool have_gprev = false;
+
+  for (int s = 0; s < 3; ++s) {
+    const real ca = CA[s], cb = CB[s];
+    std::vector<sf> H(nn), R(nn), C(nn), P(nn), D(nn);
+    // content(n): the task that produced node n's owned cells this stage.
+    const auto content = [&](index_t n) {
+      return topo_->node(n).leaf ? H[static_cast<std::size_t>(n)]
+                                 : R[static_cast<std::size_t>(n)];
+    };
+
+    // Hydro: each leaf fires on its *own* ghost-ready and gravity edges —
+    // interior leaves run while boundary work elsewhere is still in flight.
+    for (const index_t l : leaves) {
+      const auto li = static_cast<std::size_t>(l);
+      std::vector<sf> deps;
+      if (s == 0) {
+        deps.push_back(snap[li]);
+      } else {
+        deps.push_back(prevC[li]);  // own same-level ghosts filled
+        if (prevP[li].valid()) deps.push_back(prevP[li]);  // coarse faces
+        if (opt_.self_gravity) deps.push_back(gprev.leaf_out[li]);
+        // WAR: last stage's readers of this leaf's owned cells.
+        for (int d = 0; d < NNEIGHBOR; ++d) {
+          const index_t nb = topo_->neighbor(l, d);
+          if (nb != tree::invalid_node)
+            deps.push_back(prevC[static_cast<std::size_t>(nb)]);
+        }
+        const index_t par = topo_->node(l).parent;
+        if (par != tree::invalid_node)
+          deps.push_back(prevR[static_cast<std::size_t>(par)]);
+        for (const index_t f : pclients[li])
+          deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        if (prevD[li].valid()) deps.push_back(prevD[li]);
+      }
+      H[li] = track(amt::dataflow(
+          [this, l, dt, ca, cb] {
+            const apex::scoped_trace_span span("app.hydro.leaf");
+            static thread_local hydro::workspace ws;
+            static thread_local std::vector<real> dudt;
+            dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
+            subgrid& u = grids_[l];
+            hydro::flux_divergence(u, opt_.hydro, ws, dudt);
+            if (opt_.self_gravity) {
+              hydro::add_sources(u, opt_.hydro, grav_->gx(l).data(),
+                                 grav_->gy(l).data(), grav_->gz(l).data(),
+                                 dudt);
+            } else {
+              hydro::add_sources(u, opt_.hydro, nullptr, nullptr, nullptr,
+                                 dudt);
+            }
+            hydro::apply_dudt(u, dudt, dt);
+            if (cb != 1) {
+              const subgrid& u0 = stage0_[leaf_slot_[l]];
+              hydro::stage_blend(u, u0, ca, cb);
+            }
+            hydro::apply_floors_and_sync_tau(u, opt_.hydro.gas);
+          },
+          std::move(deps), rt));
+    }
+
+    // Restriction: parent-on-children dependencies replace the per-level
+    // barrier of exchange_ghosts() phase 1.
+    for (int lvl = topo_->max_depth() - 1; lvl >= 0; --lvl) {
+      for (const index_t n : topo_->nodes_at_level(lvl)) {
+        if (topo_->node(n).leaf) continue;
+        const auto ni = static_cast<std::size_t>(n);
+        std::vector<sf> deps;
+        for (int oct = 0; oct < NCHILD; ++oct)
+          deps.push_back(content(topo_->node(n).children[oct]));
+        if (s > 0) {
+          // WAR: last stage's readers of this node's owned restriction.
+          deps.push_back(prevC[ni]);  // own outflow fill read the interior
+          for (int d = 0; d < NNEIGHBOR; ++d) {
+            const index_t nb = topo_->neighbor(n, d);
+            if (nb != tree::invalid_node)
+              deps.push_back(prevC[static_cast<std::size_t>(nb)]);
+          }
+          const index_t par = topo_->node(n).parent;
+          if (par != tree::invalid_node)
+            deps.push_back(prevR[static_cast<std::size_t>(par)]);
+          for (const index_t f : pclients[ni])
+            deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        }
+        R[ni] = track(amt::dataflow(
+            [this, n] {
+              const apex::scoped_trace_span span("app.exchange.restrict");
+              const auto& nd2 = topo_->node(n);
+              for (int oct = 0; oct < NCHILD; ++oct)
+                grid::restrict_to_coarse(grids_[nd2.children[oct]], oct,
+                                         grids_[n]);
+            },
+            std::move(deps), rt));
+      }
+    }
+
+    // Same-level ghost copies + outflow fills: fire per node when the
+    // sources (neighbors' owned cells) are produced and this node's ghosts
+    // are no longer being read.
+    for (index_t n = 0; n < topo_->num_nodes(); ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      std::vector<sf> deps;
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(n, d);
+        if (nb != tree::invalid_node) deps.push_back(content(nb));
+      }
+      if (topo_->node(n).leaf)
+        deps.push_back(H[ni]);  // WAR: hydro read these ghosts
+      else
+        deps.push_back(R[ni]);  // RAW: outflow reads the restricted interior
+      if (s > 0) {
+        if (prevC[ni].valid()) deps.push_back(prevC[ni]);  // WAW
+        for (const index_t f : pclients[ni])
+          deps.push_back(prevP[static_cast<std::size_t>(f)]);  // WAR
+      }
+      C[ni] = track(amt::dataflow(
+          [this, n] {
+            const apex::scoped_trace_span span("app.exchange.copy");
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              const index_t nb = topo_->neighbor(n, d);
+              if (nb != tree::invalid_node) {
+                grids_[n].copy_ghost_direct(d, grids_[nb]);
+              } else {
+                const auto ncode = tree::code_neighbor(
+                    topo_->node(n).code, tree::directions()[d]);
+                if (!ncode) grids_[n].fill_ghost_outflow(d);
+              }
+            }
+          },
+          std::move(deps), rt));
+    }
+
+    // Coarse-to-fine prolongation: per fine leaf, gated on its hosts'
+    // owned + ghost state (ascending level order makes host P edges exist).
+    for (std::size_t lvl = 0; lvl < leaves_by_level_.size(); ++lvl) {
+      for (const index_t l : leaves_by_level_[lvl]) {
+        const auto li = static_cast<std::size_t>(l);
+        if (phosts[li].empty()) continue;
+        std::vector<sf> deps;
+        deps.push_back(H[li]);  // WAR: hydro read these ghost faces
+        for (const index_t h : phosts[li]) {
+          const auto hi = static_cast<std::size_t>(h);
+          deps.push_back(content(h));
+          deps.push_back(C[hi]);
+          if (P[hi].valid()) deps.push_back(P[hi]);
+        }
+        if (s > 0)
+          for (const index_t f : pclients[li])
+            deps.push_back(prevP[static_cast<std::size_t>(f)]);  // WAR
+        P[li] = track(amt::dataflow(
+            [this, l] {
+              const apex::scoped_trace_span span("app.exchange.prolong");
+              const auto& nd = topo_->node(l);
+              for (int d = 0; d < NNEIGHBOR; ++d) {
+                if (nd.neighbors[d] != tree::invalid_node) continue;
+                const index_t host = topo_->neighbor_or_coarser(l, d);
+                if (host == tree::invalid_node) continue;
+                grid::fill_ghost_from_coarse(
+                    grids_[l], tree::code_coords(nd.code), d, grids_[host],
+                    tree::code_coords(topo_->node(host).code));
+              }
+            },
+            std::move(deps), rt));
+      }
+    }
+
+    // Gravity: per-leaf density refresh feeding the solver's task graph.
+    if (opt_.self_gravity) {
+      std::vector<sf> mom_ready(nn);
+      for (const index_t l : leaves) {
+        const auto li = static_cast<std::size_t>(l);
+        std::vector<sf> deps;
+        deps.push_back(H[li]);
+        if (have_gprev) deps.push_back(gprev.mom_free[li]);
+        D[li] = track(amt::dataflow(
+            [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
+            std::move(deps), rt));
+        mom_ready[li] = D[li];
+      }
+      gravity::fmm_solver::solve_graph g = grav_->solve_dataflow(
+          space_, mom_ready, have_gprev ? &gprev : nullptr);
+      for (const auto& t : g.tasks) all.push_back(t);
+      gprev = std::move(g);
+      have_gprev = true;
+    }
+
+    prevH = std::move(H);
+    prevR = std::move(R);
+    prevC = std::move(C);
+    prevP = std::move(P);
+    prevD = std::move(D);
+  }
+
+  // dt reduction: per-leaf signal speeds fire as each leaf's final state
+  // settles; the serial max-reduce below the join matches compute_dt().
+  std::vector<real> vmax_slots(leaves.size(), 0);
+  if (opt_.fixed_dt <= 0) {
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const index_t l = leaves[i];
+      const auto li = static_cast<std::size_t>(l);
+      std::vector<sf> deps;
+      deps.push_back(prevH[li]);
+      deps.push_back(prevC[li]);
+      if (prevP[li].valid()) deps.push_back(prevP[li]);
+      all.push_back(sf(amt::dataflow(
+          [this, l, i, &vmax_slots] {
+            vmax_slots[i] =
+                hydro::max_signal_speed(grids_[l], opt_.hydro) /
+                topo_->cell_width(l);
+          },
+          std::move(deps), rt)));
+    }
+  }
+
+  // The step's only global join: drain the graph, surfacing the first
+  // task error in deterministic build order.
+  amt::get_all(all, rt);
+
+  if (opt_.fixed_dt <= 0) {
+    real vmax = 0;
+    for (const real v : vmax_slots) vmax = std::max(vmax, v);
+    OCTO_CHECK_MSG(vmax > 0, "zero signal speed — uninitialized state?");
+    dt_ = opt_.cfl / vmax;
+  }
+}
+
+real simulation::step() {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  const apex::scoped_timer apex_t(timers().step);
+  const apex::scoped_trace_span trace_span(opt_.mode == step_mode::dataflow
+                                               ? "app.step.dataflow"
+                                               : "app.step");
+  apex::registry::instance().add(timers().steps_counter);
+  const real dt = dt_;
+  const stopwatch step_watch;
+  phase_exchange_s_ = phase_gravity_s_ = phase_hydro_s_ = 0;
+  const amt::runtime_stats stats0 = space_.runtime().stats();
+
+  if (opt_.mode == step_mode::dataflow) {
+    step_graph(dt);
+  } else {
+    step_barrier(dt);
+    // Re-evaluate the CFL condition on the evolved state so the next
+    // step's dt tracks the current signal speeds.
+    if (opt_.fixed_dt <= 0) dt_ = compute_dt();
+  }
 
   time_ += dt;
   ++steps_;
-  // Re-evaluate the CFL condition on the evolved state so the next step's
-  // dt tracks the current signal speeds (previously only regrid() did
-  // this, leaving dt frozen at its initialize() value).
-  if (opt_.fixed_dt <= 0) dt_ = compute_dt();
 
   // Structured per-step observability record (the paper's headline
-  // "processed sub-grid cells per second" plus the per-phase breakdown).
+  // "processed sub-grid cells per second" plus the per-phase breakdown;
+  // in dataflow mode phases overlap, so the per-phase columns stay 0 and
+  // idle_fraction carries the scheduler-utilization comparison instead).
+  const amt::runtime_stats stats1 = space_.runtime().stats();
   last_metrics_ = apex::step_record{};
   last_metrics_.step = steps_;
   last_metrics_.time = static_cast<double>(time_);
@@ -277,6 +568,12 @@ real simulation::step() {
   last_metrics_.hydro_seconds = phase_hydro_s_;
   last_metrics_.subgrids = static_cast<std::uint64_t>(num_leaves());
   last_metrics_.cells = static_cast<std::uint64_t>(num_cells());
+  const double busy_ns = last_metrics_.step_seconds * 1e9 *
+                         space_.runtime().concurrency();
+  if (busy_ns > 0) {
+    last_metrics_.idle_fraction =
+        static_cast<double>(stats1.idle_ns - stats0.idle_ns) / busy_ns;
+  }
   last_metrics_.finalize();
   if (metrics_ != nullptr) metrics_->emit(last_metrics_);
   return dt;

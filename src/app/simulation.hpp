@@ -28,6 +28,16 @@
 
 namespace octo::app {
 
+/// How a step executes its phases (the Fig. 9 ablation, kept as an A/B
+/// toggle): `barrier` fan-out/joins every phase; `dataflow` builds one
+/// per-leaf dependency graph whose only global join is the end-of-substep
+/// dt reduction.  Both produce bitwise-identical state.
+enum class step_mode { barrier, dataflow };
+
+/// Default mode from the environment: OCTO_STEP_MODE=barrier|dataflow
+/// (unset or unrecognized -> barrier).
+step_mode default_step_mode();
+
 struct sim_options {
   int max_level = 2;
   real cfl = real(0.4);
@@ -42,6 +52,8 @@ struct sim_options {
   /// density field", §IV-C): regrid() refines every region whose density
   /// exceeds this value, up to max_level.
   real rho_refine = real(1e-3);
+  /// Step execution mode (see step_mode; default honors OCTO_STEP_MODE).
+  step_mode mode = default_step_mode();
 };
 
 /// Global conserved quantities, including gravitational energy.
@@ -113,6 +125,12 @@ class simulation {
   void solve_gravity();
   void hydro_stage(real dt, real ca, real cb);
   real compute_dt();
+  /// The three RK stages as barriered phase launches (classic mode).
+  void step_barrier(real dt);
+  /// The three RK stages as one per-leaf dependency graph: hydro chained on
+  /// each leaf's own ghost/gravity edges, gravity via solve_dataflow, one
+  /// get_all join at the end followed by the dt reduction.
+  void step_graph(real dt);
 
   scen::scenario scenario_;
   sim_options opt_;

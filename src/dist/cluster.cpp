@@ -314,12 +314,23 @@ void cluster::exchange_ghosts() {
       // A reliable send gave up (retries exhausted / peer dead): slabs
       // that will never arrive would leave unpack continuations pending
       // forever — the seed's lost-message deadlock.  Break every channel
-      // so the pending receives fail fast, drain them, hand the next
-      // attempt (rollback or recovery) fresh channels, then rethrow the
-      // original transport error.
+      // so the pending receives fail fast, then *drain with get_all
+      // semantics*: an unseal() checksum failure that already happened in
+      // an unpack continuation surfaces instead of being swallowed by a
+      // bare wait; only the broken_channel noise from the close above is
+      // filtered out.  Hand the next attempt fresh channels, then rethrow.
       for (auto& ch : channels_) ch->close();
-      for (auto& f : recv_futs) f.wait(rt);
+      std::exception_ptr unpack_err;
+      for (auto& f : recv_futs) {
+        try {
+          f.get(rt);
+        } catch (const amt::broken_channel&) {
+        } catch (...) {
+          if (!unpack_err) unpack_err = std::current_exception();
+        }
+      }
       rebuild_channels();
+      if (unpack_err) std::rethrow_exception(unpack_err);
       throw;
     }
     amt::get_all(recv_futs, rt);
@@ -427,18 +438,8 @@ void cluster::detect_locality_failures() {
   if (!dead.empty()) throw locality_failure(dead);
 }
 
-real cluster::step() {
-  OCTO_CHECK_MSG(initialized_, "call initialize() first");
-  const apex::scoped_trace_span trace_span("dist.step");
-  const stopwatch step_watch;
-  // Armed node-death trigger (OCTO_FAULT_STEP) — before any state
-  // mutation, so a rollback sees a consistent cluster.  Likewise the
-  // locality kill + heartbeat check: detection precedes the stage-0 copy,
-  // so recovery sees every survivor at the end of the previous step.
-  fault::injector::instance().maybe_fail_step();
-  detect_locality_failures();
-  const real dt = dt_;
-  double exchange_s = 0, gravity_s = 0, hydro_s = 0;
+void cluster::step_barrier(real dt, double& exchange_s, double& gravity_s,
+                           double& hydro_s) {
   const auto timed_phase = [](double& acc, auto&& fn) {
     const stopwatch w;
     fn();
@@ -461,13 +462,500 @@ real cluster::step() {
     if (opt_.sim.self_gravity)
       timed_phase(gravity_s, [&] { solve_gravity(); });
   }
+}
+
+void cluster::step_graph(real dt) {
+  using sf = amt::shared_future<void>;
+  auto& rt = space_.runtime();
+  const auto nn = static_cast<std::size_t>(topo_->num_nodes());
+  const auto& leaves = topo_->leaves();
+  const std::size_t nlinks = leaves.size() * NNEIGHBOR;
+
+  // Prolongation relations (fine leaf <-> coarser leaf host).
+  std::vector<std::vector<index_t>> phosts(nn), pclients(nn);
+  for (const index_t l : leaves) {
+    const auto& nd = topo_->node(l);
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      if (nd.neighbors[d] != tree::invalid_node) continue;
+      const index_t host = topo_->neighbor_or_coarser(l, d);
+      if (host == tree::invalid_node) continue;
+      auto& hs = phosts[static_cast<std::size_t>(l)];
+      if (std::find(hs.begin(), hs.end(), host) == hs.end()) {
+        hs.push_back(host);
+        pclients[static_cast<std::size_t>(host)].push_back(l);
+      }
+    }
+  }
+
+  // Exchange statistics, accumulated lock-free by the send tasks and
+  // folded in after the drain.
+  struct xfer_counts {
+    std::atomic<std::uint64_t> ld{0}, ls{0}, rm{0}, by{0};
+  };
+  auto counts = std::make_shared<xfer_counts>();
+
+  // Failure latch: the first task that resolves with an exception closes
+  // every channel, so arrival futures whose message will now never be sent
+  // resolve (with broken_channel) and the drain below cannot hang.  The
+  // latch holds its own shared_ptr copies so a late close hits live
+  // channel objects even after rebuild_channels().
+  struct failure_latch {
+    std::atomic<bool> fired{false};
+    std::vector<std::shared_ptr<amt::channel<boundary_msg>>> channels;
+  };
+  auto latch = std::make_shared<failure_latch>();
+  latch->channels = channels_;
+
+  std::vector<sf> all;  // every task in build order: the deterministic drain
+  all.reserve(nn * 24);
+  const auto track = [&all, latch](sf f) {
+    f.state()->add_continuation([latch, st = f.state()] {
+      if (st->has_exception() && !latch->fired.exchange(true))
+        for (const auto& ch : latch->channels) ch->close();
+    });
+    all.push_back(f);
+    return f;
+  };
+
+  const real CA[3] = {0, real(0.75), real(1) / 3};
+  const real CB[3] = {1, real(0.25), real(2) / 3};
+
+  // u0 snapshot (step entry is a resolved point).
+  std::vector<sf> snap(nn);
+  for (const index_t l : leaves)
+    snap[static_cast<std::size_t>(l)] = track(amt::dataflow(
+        [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+        std::vector<sf>{}, rt));
+
+  std::vector<sf> prevH(nn), prevR(nn), prevC(nn), prevP(nn), prevD(nn),
+      prevSend(nn);
+  std::vector<sf> prevUnp(nlinks);
+  gravity::fmm_solver::solve_graph gprev;
+  bool have_gprev = false;
+
+  for (int s = 0; s < 3; ++s) {
+    const real ca = CA[s], cb = CB[s];
+    std::vector<sf> H(nn), R(nn), C(nn), P(nn), D(nn), SEND(nn);
+    std::vector<sf> UNP(nlinks);
+    // Per-stage message slots: arrivals stash here, unpack tasks consume.
+    auto slots = std::make_shared<std::vector<boundary_msg>>(nlinks);
+
+    const auto content = [&](index_t n) {
+      return topo_->node(n).leaf ? H[static_cast<std::size_t>(n)]
+                                 : R[static_cast<std::size_t>(n)];
+    };
+
+    // Hydro: each leaf fires on its own ghost-ready + gravity edges.
+    for (const index_t l : leaves) {
+      const auto li = static_cast<std::size_t>(l);
+      std::vector<sf> deps;
+      if (s == 0) {
+        deps.push_back(snap[li]);
+      } else {
+        deps.push_back(prevC[li]);
+        if (prevP[li].valid()) deps.push_back(prevP[li]);
+        if (opt_.sim.self_gravity) deps.push_back(gprev.leaf_out[li]);
+        for (int d = 0; d < NNEIGHBOR; ++d) {
+          const index_t nb = topo_->neighbor(l, d);
+          if (nb == tree::invalid_node) continue;
+          if (topo_->node(nb).leaf) {
+            // Own leaf-leaf ghosts arrived and unpacked last stage...
+            deps.push_back(prevUnp[static_cast<std::size_t>(
+                leaf_slot_[l] * NNEIGHBOR + d)]);
+            // ...and for direct-token pairs the neighbor finished reading
+            // our owned cells (its unpack copies straight from grids_[l]).
+            if (owner(l) == owner(nb) && opt_.local_optimization)
+              deps.push_back(prevUnp[static_cast<std::size_t>(
+                  leaf_slot_[nb] * NNEIGHBOR + tree::dir_opposite(d))]);
+          } else {
+            deps.push_back(prevC[static_cast<std::size_t>(nb)]);
+          }
+        }
+        if (prevSend[li].valid()) deps.push_back(prevSend[li]);
+        const index_t par = topo_->node(l).parent;
+        if (par != tree::invalid_node)
+          deps.push_back(prevR[static_cast<std::size_t>(par)]);
+        for (const index_t f : pclients[li])
+          deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        if (prevD[li].valid()) deps.push_back(prevD[li]);
+      }
+      H[li] = track(amt::dataflow(
+          [this, l, dt, ca, cb] {
+            const apex::scoped_trace_span span("dist.hydro.leaf");
+            static thread_local hydro::workspace ws;
+            static thread_local std::vector<real> dudt;
+            dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
+            subgrid& u = grids_[l];
+            hydro::flux_divergence(u, opt_.sim.hydro, ws, dudt);
+            if (opt_.sim.self_gravity) {
+              hydro::add_sources(u, opt_.sim.hydro, grav_->gx(l).data(),
+                                 grav_->gy(l).data(), grav_->gz(l).data(),
+                                 dudt);
+            } else {
+              hydro::add_sources(u, opt_.sim.hydro, nullptr, nullptr,
+                                 nullptr, dudt);
+            }
+            hydro::apply_dudt(u, dudt, dt);
+            if (cb != 1)
+              hydro::stage_blend(u, stage0_[leaf_slot_[l]], ca, cb);
+            hydro::apply_floors_and_sync_tau(u, opt_.sim.hydro.gas);
+          },
+          std::move(deps), rt));
+    }
+
+    // Restriction: parent-on-children edges.
+    for (int lvl = topo_->max_depth() - 1; lvl >= 0; --lvl) {
+      for (const index_t n : topo_->nodes_at_level(lvl)) {
+        if (topo_->node(n).leaf) continue;
+        const auto ni = static_cast<std::size_t>(n);
+        std::vector<sf> deps;
+        for (int oct = 0; oct < NCHILD; ++oct)
+          deps.push_back(content(topo_->node(n).children[oct]));
+        if (s > 0) {
+          deps.push_back(prevC[ni]);  // WAR: own outflow fill read the interior
+          for (int d = 0; d < NNEIGHBOR; ++d) {
+            const index_t nb = topo_->neighbor(n, d);
+            if (nb != tree::invalid_node)
+              deps.push_back(prevC[static_cast<std::size_t>(nb)]);
+          }
+          const index_t par = topo_->node(n).parent;
+          if (par != tree::invalid_node)
+            deps.push_back(prevR[static_cast<std::size_t>(par)]);
+          for (const index_t f : pclients[ni])
+            deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        }
+        R[ni] = track(amt::dataflow(
+            [this, n] {
+              const auto& nd = topo_->node(n);
+              for (int oct = 0; oct < NCHILD; ++oct)
+                grid::restrict_to_coarse(grids_[nd.children[oct]], oct,
+                                         grids_[n]);
+            },
+            std::move(deps), rt));
+      }
+    }
+
+    // Non-leaf-leaf same-level copies + physical boundaries.
+    for (index_t n = 0; n < topo_->num_nodes(); ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      const bool is_leaf = topo_->node(n).leaf;
+      std::vector<sf> deps;
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(n, d);
+        if (nb == tree::invalid_node) continue;
+        if (!(is_leaf && topo_->node(nb).leaf)) deps.push_back(content(nb));
+      }
+      if (is_leaf)
+        deps.push_back(H[ni]);
+      else
+        deps.push_back(R[ni]);  // RAW: outflow reads the restricted interior
+      if (s > 0) {
+        if (prevC[ni].valid()) deps.push_back(prevC[ni]);
+        for (const index_t f : pclients[ni])
+          deps.push_back(prevP[static_cast<std::size_t>(f)]);
+      }
+      C[ni] = track(amt::dataflow(
+          [this, n] {
+            const bool leaf2 = topo_->node(n).leaf;
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              const index_t nb = topo_->neighbor(n, d);
+              if (nb != tree::invalid_node) {
+                if (!(leaf2 && topo_->node(nb).leaf))
+                  grids_[n].copy_ghost_direct(d, grids_[nb]);
+              } else {
+                const auto ncode = tree::code_neighbor(
+                    topo_->node(n).code, tree::directions()[d]);
+                if (!ncode) grids_[n].fill_ghost_outflow(d);
+              }
+            }
+          },
+          std::move(deps), rt));
+    }
+
+    // Senders: one task per leaf with leaf-leaf links.  The edge on the
+    // previous stage's send keeps every link's channel FIFO aligned with
+    // stage order — without it a fast stage-s send could pair with the
+    // receiver's stage s-1 receive.
+    for (const index_t l : leaves) {
+      const auto li = static_cast<std::size_t>(l);
+      bool has_links = false;
+      for (int d = 0; d < NNEIGHBOR && !has_links; ++d) {
+        const index_t nb = topo_->neighbor(l, d);
+        has_links = nb != tree::invalid_node && topo_->node(nb).leaf;
+      }
+      if (!has_links) continue;
+      std::vector<sf> deps;
+      deps.push_back(H[li]);
+      if (prevSend[li].valid()) deps.push_back(prevSend[li]);
+      SEND[li] = track(amt::dataflow(
+          [this, l, counts] {
+            const apex::scoped_trace_span span("dist.exchange.send");
+            for (int d = 0; d < NNEIGHBOR; ++d) {
+              const index_t nb = topo_->neighbor(l, d);
+              if (nb == tree::invalid_node || !topo_->node(nb).leaf)
+                continue;
+              const int rd = tree::dir_opposite(d);
+              auto& ch = *channels_[static_cast<std::size_t>(
+                  leaf_slot_[nb] * NNEIGHBOR + rd)];
+              const bool same_loc = owner(l) == owner(nb);
+              if (same_loc && opt_.local_optimization) {
+                boundary_msg msg;
+                msg.direct = true;
+                msg.src = &grids_[l];
+                ch.send(std::move(msg));
+                counts->ld.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                std::vector<real> slab;
+                grids_[l].pack_for_neighbor(d, slab);
+                oarchive ar;
+                ar.put(static_cast<std::int32_t>(rd));
+                ar.put_vector(slab);
+                ar.seal();
+                std::vector<std::uint8_t> bytes = ar.take();
+                if (fault::injector::instance().ghost_slab_hook(bytes))
+                  apex::registry::instance().add(counters().faults);
+                counts->by.fetch_add(bytes.size(),
+                                     std::memory_order_relaxed);
+                if (same_loc)
+                  counts->ls.fetch_add(1, std::memory_order_relaxed);
+                else
+                  counts->rm.fetch_add(1, std::memory_order_relaxed);
+                const int link =
+                    static_cast<int>(leaf_slot_[nb]) * NNEIGHBOR + rd;
+                if (transport_) {
+                  auto sink = channels_[static_cast<std::size_t>(link)];
+                  transport_->send(
+                      link, owner(l), owner(nb), std::move(bytes),
+                      [sink](std::vector<std::uint8_t> payload) {
+                        boundary_msg msg;
+                        msg.bytes = std::move(payload);
+                        sink->send(std::move(msg));
+                      });
+                } else {
+                  boundary_msg msg;
+                  msg.bytes = std::move(bytes);
+                  ch.send(std::move(msg));
+                }
+              }
+            }
+          },
+          std::move(deps), rt));
+    }
+
+    // Receivers: the channel arrival resolves a per-link future (stash via
+    // inline continuation), and the unpack task fires on {arrival, WAR
+    // edges} — transport acks and unpacks flow with no exchange barrier.
+    // Receives are issued in stage order here, matching the per-link FIFO.
+    for (const index_t l : leaves) {
+      const auto li = static_cast<std::size_t>(l);
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(l, d);
+        if (nb == tree::invalid_node || !topo_->node(nb).leaf) continue;
+        const std::size_t link =
+            static_cast<std::size_t>(leaf_slot_[l] * NNEIGHBOR + d);
+        sf arrival = channels_[link]->receive().then_inline(
+            [slots, link](boundary_msg msg) {
+              (*slots)[link] = std::move(msg);
+            },
+            rt);
+        std::vector<sf> deps;
+        deps.push_back(arrival);
+        deps.push_back(H[li]);  // WAR: hydro read this ghost face
+        if (s > 0) {
+          if (prevUnp[link].valid()) deps.push_back(prevUnp[link]);
+          for (const index_t f : pclients[li])
+            deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        }
+        UNP[link] = track(amt::dataflow(
+            [this, l, d, slots, link] {
+              const apex::scoped_trace_span span("dist.exchange.unpack");
+              boundary_msg msg = std::move((*slots)[link]);
+              if (msg.direct) {
+                grids_[l].copy_ghost_direct(d, *msg.src);
+              } else {
+                iarchive ar(std::move(msg.bytes));
+                ar.unseal("serialized ghost slab");
+                const auto rd = ar.get<std::int32_t>();
+                OCTO_CHECK(rd == d);
+                const auto slab = ar.get_vector<real>();
+                grids_[l].unpack_from_neighbor(
+                    d, slab.data(), static_cast<index_t>(slab.size()));
+              }
+            },
+            std::move(deps), rt));
+      }
+    }
+
+    // Coarse-to-fine prolongation: gated on the host's complete state
+    // (owned cells, direct-copied ghosts, arrived leaf-leaf ghosts, and
+    // the host's own coarse faces).
+    for (std::size_t lvl = 0; lvl < leaves_by_level_.size(); ++lvl) {
+      for (const index_t l : leaves_by_level_[lvl]) {
+        const auto li = static_cast<std::size_t>(l);
+        if (phosts[li].empty()) continue;
+        std::vector<sf> deps;
+        deps.push_back(H[li]);
+        for (const index_t h : phosts[li]) {
+          const auto hi = static_cast<std::size_t>(h);
+          deps.push_back(content(h));
+          deps.push_back(C[hi]);
+          if (P[hi].valid()) deps.push_back(P[hi]);
+          for (int d = 0; d < NNEIGHBOR; ++d) {
+            const index_t hnb = topo_->neighbor(h, d);
+            if (hnb != tree::invalid_node && topo_->node(hnb).leaf)
+              deps.push_back(UNP[static_cast<std::size_t>(
+                  leaf_slot_[h] * NNEIGHBOR + d)]);
+          }
+        }
+        if (s > 0)
+          for (const index_t f : pclients[li])
+            deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        P[li] = track(amt::dataflow(
+            [this, l] {
+              const auto& nd = topo_->node(l);
+              for (int d = 0; d < NNEIGHBOR; ++d) {
+                if (nd.neighbors[d] != tree::invalid_node) continue;
+                const index_t host = topo_->neighbor_or_coarser(l, d);
+                if (host == tree::invalid_node) continue;
+                grid::fill_ghost_from_coarse(
+                    grids_[l], tree::code_coords(nd.code), d, grids_[host],
+                    tree::code_coords(topo_->node(host).code));
+              }
+            },
+            std::move(deps), rt));
+      }
+    }
+
+    // Gravity: per-leaf density refresh feeding the solver's task graph.
+    if (opt_.sim.self_gravity) {
+      std::vector<sf> mom_ready(nn);
+      for (const index_t l : leaves) {
+        const auto li = static_cast<std::size_t>(l);
+        std::vector<sf> deps;
+        deps.push_back(H[li]);
+        if (have_gprev) deps.push_back(gprev.mom_free[li]);
+        D[li] = track(amt::dataflow(
+            [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
+            std::move(deps), rt));
+        mom_ready[li] = D[li];
+      }
+      gravity::fmm_solver::solve_graph g = grav_->solve_dataflow(
+          space_, mom_ready, have_gprev ? &gprev : nullptr);
+      for (const auto& t : g.tasks) track(t);
+      gprev = std::move(g);
+      have_gprev = true;
+    }
+
+    prevH = std::move(H);
+    prevR = std::move(R);
+    prevC = std::move(C);
+    prevP = std::move(P);
+    prevD = std::move(D);
+    prevSend = std::move(SEND);
+    prevUnp = std::move(UNP);
+  }
+
+  // dt reduction: per-leaf signal speeds as each leaf's final state
+  // settles; serial max-reduce after the drain matches compute_dt().
+  std::vector<real> vmax_slots(leaves.size(), 0);
+  if (opt_.sim.fixed_dt <= 0) {
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const index_t l = leaves[i];
+      const auto li = static_cast<std::size_t>(l);
+      std::vector<sf> deps;
+      deps.push_back(prevH[li]);
+      deps.push_back(prevC[li]);
+      if (prevP[li].valid()) deps.push_back(prevP[li]);
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(l, d);
+        if (nb != tree::invalid_node && topo_->node(nb).leaf)
+          deps.push_back(prevUnp[static_cast<std::size_t>(
+              leaf_slot_[l] * NNEIGHBOR + d)]);
+      }
+      track(amt::dataflow(
+          [this, l, i, &vmax_slots] {
+            vmax_slots[i] =
+                hydro::max_signal_speed(grids_[l], opt_.sim.hydro) /
+                topo_->cell_width(l);
+          },
+          std::move(deps), rt));
+    }
+  }
+
+  // Drain every task (the failure latch guarantees arrivals resolve), then
+  // surface the first error in build order — preferring a real failure
+  // (checksum, transport) over the broken_channel cascade noise the latch
+  // close produced.
+  for (const auto& f : all)
+    if (f.valid()) f.wait(rt);
+  std::exception_ptr first, first_nonchannel;
+  for (const auto& f : all) {
+    if (!f.valid()) continue;
+    if (auto e = amt::detail::stored_exception(f.state())) {
+      if (!first) first = e;
+      if (!first_nonchannel) {
+        try {
+          std::rethrow_exception(e);
+        } catch (const amt::broken_channel&) {
+        } catch (...) {
+          first_nonchannel = e;
+        }
+      }
+    }
+  }
+  if (first) {
+    rebuild_channels();
+    std::rethrow_exception(first_nonchannel ? first_nonchannel : first);
+  }
+
+  stats_.local_direct += counts->ld.load();
+  stats_.local_serialized += counts->ls.load();
+  stats_.remote_messages += counts->rm.load();
+  stats_.bytes_serialized += counts->by.load();
+  auto& reg = apex::registry::instance();
+  reg.add(counters().local_direct, counts->ld.load());
+  reg.add(counters().local_serialized, counts->ls.load());
+  reg.add(counters().remote, counts->rm.load());
+  reg.add(counters().bytes, counts->by.load());
+
+  if (opt_.sim.fixed_dt <= 0) {
+    real vmax = 0;
+    for (const real v : vmax_slots) vmax = std::max(vmax, v);
+    OCTO_CHECK(vmax > 0);
+    dt_ = opt_.sim.cfl / vmax;
+  }
+}
+
+real cluster::step() {
+  OCTO_CHECK_MSG(initialized_, "call initialize() first");
+  const bool dataflow = opt_.sim.mode == app::step_mode::dataflow;
+  const apex::scoped_trace_span trace_span(dataflow ? "dist.step.dataflow"
+                                                    : "dist.step");
+  const stopwatch step_watch;
+  // Armed node-death trigger (OCTO_FAULT_STEP) — before any state
+  // mutation, so a rollback sees a consistent cluster.  Likewise the
+  // locality kill + heartbeat check: detection precedes the stage-0 copy,
+  // so recovery sees every survivor at the end of the previous step (in
+  // dataflow mode the graph's deterministic drain then surfaces any
+  // failure the heartbeat round missed).
+  fault::injector::instance().maybe_fail_step();
+  detect_locality_failures();
+  const real dt = dt_;
+  double exchange_s = 0, gravity_s = 0, hydro_s = 0;
+  const amt::runtime_stats rt_stats0 = space_.runtime().stats();
+
+  if (dataflow) {
+    step_graph(dt);
+  } else {
+    step_barrier(dt, exchange_s, gravity_s, hydro_s);
+    // Re-evaluate the CFL condition on the evolved state (mirrors
+    // app::simulation::step(); dt_ previously stayed frozen at its
+    // initialize() value for the cluster's whole lifetime).
+    if (opt_.sim.fixed_dt <= 0) dt_ = compute_dt();
+  }
 
   time_ += dt;
   ++steps_;
-  // Re-evaluate the CFL condition on the evolved state (mirrors
-  // app::simulation::step(); dt_ previously stayed frozen at its
-  // initialize() value for the cluster's whole lifetime).
-  if (opt_.sim.fixed_dt <= 0) dt_ = compute_dt();
   update_replicas();
 
   // Per-step observability: transport counters are emitted as this-step
@@ -495,6 +983,12 @@ real cluster::step() {
   rec.leaves_migrated = pending_leaves_migrated_;
   pending_localities_lost_ = 0;
   pending_leaves_migrated_ = 0;
+  const amt::runtime_stats rt_stats1 = space_.runtime().stats();
+  const double busy_ns =
+      rec.step_seconds * 1e9 * space_.runtime().concurrency();
+  if (busy_ns > 0)
+    rec.idle_fraction =
+        static_cast<double>(rt_stats1.idle_ns - rt_stats0.idle_ns) / busy_ns;
   rec.finalize();
   last_metrics_ = rec;
   if (metrics_ != nullptr) metrics_->emit(rec);

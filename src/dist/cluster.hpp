@@ -139,6 +139,16 @@ class cluster {
   void solve_gravity();
   void hydro_stage(real dt, real ca, real cb);
   real compute_dt();
+  /// The three RK stages as barriered phase launches (classic mode).
+  void step_barrier(real dt, double& exchange_s, double& gravity_s,
+                    double& hydro_s);
+  /// The three RK stages as one dependency graph: per-leaf hydro chained on
+  /// its own ghost edges, channel arrivals resolving unpack tasks without a
+  /// barrier, gravity via solve_dataflow; one deterministic drain at the
+  /// end.  On any task failure every channel is closed (so pending arrivals
+  /// resolve), the graph drained, channels rebuilt, and the first error in
+  /// build order rethrown.
+  void step_graph(real dt);
   int owner(index_t node) const { return part_.owner(node); }
 
   /// Fresh boundary channels and a fresh transport epoch; old channels are

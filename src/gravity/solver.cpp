@@ -132,6 +132,35 @@ fmm_solver::fmm_solver(const tree::topology& topo, gravity_options opt)
   levels_.assign(static_cast<std::size_t>(topo.max_depth()) + 1, {});
   for (index_t n = 0; n < topo.num_nodes(); ++n)
     levels_[static_cast<std::size_t>(topo.node(n).level)].push_back(n);
+
+  // Refinement-boundary pair relations (fixed per topology): every fine
+  // leaf records its distinct coarser leaf hosts in direction-discovery
+  // order; every host records its fine clients ascending by node index.
+  fc_.resize(static_cast<std::size_t>(topo.num_nodes()));
+  for (const index_t l : topo.leaves()) {
+    const tree::tnode& tn = topo.node(l);
+    auto& fc = fc_[static_cast<std::size_t>(l)];
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      if (tn.neighbors[d] != tree::invalid_node) continue;
+      const index_t host = topo.neighbor_or_coarser(l, d);
+      if (host == tree::invalid_node) continue;  // domain boundary
+      OCTO_CHECK_MSG(topo.node(host).leaf &&
+                         topo.node(host).level == tn.level - 1,
+                     "2:1 balance violated at node " << l);
+      if (std::find(fc.hosts.begin(), fc.hosts.end(), host) ==
+          fc.hosts.end())
+        fc.hosts.push_back(host);
+    }
+    if (!fc.hosts.empty()) {
+      fc.self_acc.assign(static_cast<std::size_t>(4) * C3, 0);
+      fc.host_acc.assign(fc.hosts.size(),
+                         std::vector<real>(static_cast<std::size_t>(4) * C3));
+    }
+  }
+  for (const index_t l : topo.leaves())
+    for (const index_t h : fc_[static_cast<std::size_t>(l)].hosts)
+      fc_[static_cast<std::size_t>(h)].clients.push_back(l);
+  for (auto& fc : fc_) std::sort(fc.clients.begin(), fc.clients.end());
 }
 
 void fmm_solver::set_leaf_density(index_t node, std::span<const real> rho) {
@@ -499,33 +528,29 @@ void fmm_solver::compute_m2l_root() {
 // refinement boundaries: mutual fine-coarse monopole pairs
 // ---------------------------------------------------------------------------
 
-void fmm_solver::compute_fine_coarse(index_t node) {
+/// Pair phase: compute this fine leaf's mutual monopole interactions with
+/// each coarser host into *private* buffers (self_acc for the fine side,
+/// host_acc[h] for each coarse side).  No shared state is touched, so every
+/// fine leaf's pair task runs lock-free and in any order.
+void fmm_solver::compute_fine_coarse_pairs(index_t node) {
   const tree::tnode& tn = topo_.node(node);
   OCTO_ASSERT(tn.leaf);
-  // Distinct coarser leaf neighbors.
-  std::vector<index_t> coarse;
-  for (int d = 0; d < NNEIGHBOR; ++d) {
-    if (tn.neighbors[d] != tree::invalid_node) continue;
-    const index_t host = topo_.neighbor_or_coarser(node, d);
-    if (host == tree::invalid_node) continue;  // domain boundary
-    OCTO_CHECK_MSG(topo_.node(host).leaf &&
-                       topo_.node(host).level == tn.level - 1,
-                   "2:1 balance violated at node " << node);
-    if (std::find(coarse.begin(), coarse.end(), host) == coarse.end())
-      coarse.push_back(host);
-  }
-  if (coarse.empty()) return;
+  auto& fcd = fc_[static_cast<std::size_t>(node)];
+  if (fcd.hosts.empty()) return;
 
   auto& fd = nodes_[node];
   const ivec3 fc = tree::code_coords(tn.code);
   const real G = opt_.G;
 
-  std::vector<real> facc(static_cast<std::size_t>(4) * C3, 0);  // l0,l1xyz
+  std::vector<real>& facc = fcd.self_acc;
+  std::fill(facc.begin(), facc.end(), real(0));
 
-  for (const index_t cn : coarse) {
+  for (std::size_t hi = 0; hi < fcd.hosts.size(); ++hi) {
+    const index_t cn = fcd.hosts[hi];
     auto& cd = nodes_[cn];
     const ivec3 cc = tree::code_coords(topo_.node(cn).code);
-    std::vector<real> cacc(static_cast<std::size_t>(4) * C3, 0);
+    std::vector<real>& cacc = fcd.host_acc[hi];
+    std::fill(cacc.begin(), cacc.end(), real(0));
 
     for (int i = 0; i < N; ++i)
       for (int j = 0; j < N; ++j)
@@ -573,26 +598,31 @@ void fmm_solver::compute_fine_coarse(index_t node) {
                 cacc[3 * C3 + ccell] -= G * mf * rinv3 * r.z;
               }
         }
-
-    {
-      const std::lock_guard<amt::spinlock> lock(cd.lock);
-      for (index_t c = 0; c < C3; ++c) {
-        cd.exp[ec_l0 * CP + c] += cacc[0 * C3 + c];
-        cd.exp[(ec_l1 + 0) * CP + c] += cacc[1 * C3 + c];
-        cd.exp[(ec_l1 + 1) * CP + c] += cacc[2 * C3 + c];
-        cd.exp[(ec_l1 + 2) * CP + c] += cacc[3 * C3 + c];
-      }
-    }
   }
+}
 
-  {
-    const std::lock_guard<amt::spinlock> lock(fd.lock);
+/// Apply phase: fold the pair buffers into node's expansions in a fixed
+/// order — own fine-side buffer first, then each client's coarse-side
+/// buffer ascending by client node index.  Each node's expansions are
+/// written by exactly one apply task, so the accumulation order (and hence
+/// the floating-point result) is deterministic with no locking.
+void fmm_solver::apply_fine_coarse(index_t node) {
+  auto& nd = nodes_[node];
+  const auto& fcd = fc_[static_cast<std::size_t>(node)];
+  const auto add4 = [&](const std::vector<real>& acc) {
     for (index_t c = 0; c < C3; ++c) {
-      fd.exp[ec_l0 * CP + c] += facc[0 * C3 + c];
-      fd.exp[(ec_l1 + 0) * CP + c] += facc[1 * C3 + c];
-      fd.exp[(ec_l1 + 1) * CP + c] += facc[2 * C3 + c];
-      fd.exp[(ec_l1 + 2) * CP + c] += facc[3 * C3 + c];
+      nd.exp[ec_l0 * CP + c] += acc[static_cast<std::size_t>(0 * C3 + c)];
+      nd.exp[(ec_l1 + 0) * CP + c] += acc[static_cast<std::size_t>(1 * C3 + c)];
+      nd.exp[(ec_l1 + 1) * CP + c] += acc[static_cast<std::size_t>(2 * C3 + c)];
+      nd.exp[(ec_l1 + 2) * CP + c] += acc[static_cast<std::size_t>(3 * C3 + c)];
     }
+  };
+  if (!fcd.hosts.empty()) add4(fcd.self_acc);
+  for (const index_t f : fcd.clients) {
+    const auto& ffc = fc_[static_cast<std::size_t>(f)];
+    const auto it = std::find(ffc.hosts.begin(), ffc.hosts.end(), node);
+    OCTO_ASSERT(it != ffc.hosts.end());
+    add4(ffc.host_acc[static_cast<std::size_t>(it - ffc.hosts.begin())]);
   }
 }
 
@@ -708,16 +738,32 @@ void fmm_solver::solve(const exec::amt_space& space) {
     amt::wait_all(futs, rt);
   }
 
-  // Phase 3: mutual fine-coarse boundary pairs.
+  // Phase 3: mutual fine-coarse boundary pairs — private pair buffers
+  // first, then one deterministic apply task per involved node.
   {
     std::vector<amt::future<void>> futs;
-    for (const index_t n : topo_.leaves())
+    for (const index_t n : topo_.leaves()) {
+      if (fc_[static_cast<std::size_t>(n)].hosts.empty()) continue;
       futs.push_back(amt::async(
           [this, n] {
             const apex::scoped_trace_span span("gravity.fine_coarse");
-            compute_fine_coarse(n);
+            compute_fine_coarse_pairs(n);
           },
           rt));
+    }
+    amt::wait_all(futs, rt);
+  }
+  {
+    std::vector<amt::future<void>> futs;
+    for (index_t n = 0; n < topo_.num_nodes(); ++n) {
+      if (!has_fc_work(n)) continue;
+      futs.push_back(amt::async(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.fine_coarse_apply");
+            apply_fine_coarse(n);
+          },
+          rt));
+    }
     amt::wait_all(futs, rt);
   }
 
@@ -746,6 +792,226 @@ void fmm_solver::solve(const exec::amt_space& space) {
           rt));
     amt::wait_all(futs, rt);
   }
+}
+
+// ---------------------------------------------------------------------------
+// solve as a dependency-driven task graph
+// ---------------------------------------------------------------------------
+
+fmm_solver::solve_graph fmm_solver::solve_dataflow(
+    const exec::amt_space& space,
+    const std::vector<amt::shared_future<void>>& mom_ready,
+    const solve_graph* prev) {
+  auto& rt = space.runtime();
+  const int nchunks = std::max(opt_.m2l_chunks, 1);
+  const auto nn = static_cast<std::size_t>(topo_.num_nodes());
+  OCTO_CHECK(mom_ready.size() == nn);
+  OCTO_CHECK(prev == nullptr ||
+             (prev->mom_free.size() == nn && prev->exp_free.size() == nn));
+
+  using sf = amt::shared_future<void>;
+  solve_graph g;
+  g.mom_free.resize(nn);
+  g.exp_free.resize(nn);
+  g.leaf_out.resize(nn);
+  g.tasks.reserve(nn * static_cast<std::size_t>(nchunks + 4));
+  const auto track = [&g](sf f) {
+    g.tasks.push_back(f);
+    return f;
+  };
+
+  // Zero pass: one task per node, gated on the previous solve being done
+  // with that node's expansions (WAW across RK stages).
+  std::vector<sf> zero(nn);
+  for (index_t n = 0; n < topo_.num_nodes(); ++n) {
+    std::vector<sf> deps;
+    if (prev != nullptr)
+      deps.push_back(prev->exp_free[static_cast<std::size_t>(n)]);
+    zero[static_cast<std::size_t>(n)] = track(amt::dataflow(
+        [this, n] {
+          std::fill(nodes_[n].exp.begin(), nodes_[n].exp.end(), real(0));
+        },
+        std::move(deps), rt));
+  }
+
+  // mom_set[n]: leaf -> the caller's set-density edge; interior -> an M2M
+  // task chained on the children's mom_set (the bottom-up traversal as
+  // parent-on-child dependencies instead of per-level barriers).
+  std::vector<sf> mom_set(nn);
+  for (int lvl = static_cast<int>(levels_.size()) - 1; lvl >= 0; --lvl) {
+    for (const index_t n : levels_[static_cast<std::size_t>(lvl)]) {
+      const auto ni = static_cast<std::size_t>(n);
+      if (topo_.node(n).leaf) {
+        mom_set[ni] = mom_ready[ni];
+        continue;
+      }
+      std::vector<sf> deps;
+      for (const index_t ch : topo_.node(n).children)
+        deps.push_back(mom_set[static_cast<std::size_t>(ch)]);
+      if (prev != nullptr) deps.push_back(prev->mom_free[ni]);
+      mom_set[ni] = track(amt::dataflow(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.m2m");
+            compute_m2m(n);
+          },
+          std::move(deps), rt));
+    }
+  }
+
+  // M2L per (node, chunk), leaf P2P fused over the same disjoint rows —
+  // ready once the node is zeroed and the node's + same-level neighbors'
+  // moments are set.  The root collapses to one task (compute_m2l_root).
+  std::vector<std::vector<sf>> m2l(nn);
+  for (index_t n = 0; n < topo_.num_nodes(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const int nc = (n == topo_.root()) ? 1 : nchunks;
+    std::vector<sf> deps;
+    deps.push_back(zero[ni]);
+    deps.push_back(mom_set[ni]);
+    if (n != topo_.root()) {
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_.neighbor(n, d);
+        if (nb != tree::invalid_node)
+          deps.push_back(mom_set[static_cast<std::size_t>(nb)]);
+      }
+    }
+    m2l[ni].reserve(static_cast<std::size_t>(nc));
+    for (int c = 0; c < nc; ++c) {
+      m2l[ni].push_back(track(amt::dataflow(
+          [this, n, c, nc] {
+            const apex::scoped_trace_span span("gravity.m2l");
+            compute_m2l(n, c, nc);
+          },
+          deps, rt)));
+    }
+  }
+
+  // Fine-coarse pair tasks write private buffers; the buffers are re-read
+  // by the *previous* solve's applies, so re-filling waits for those too.
+  std::vector<sf> fcpair(nn);
+  for (const index_t l : topo_.leaves()) {
+    const auto li = static_cast<std::size_t>(l);
+    const auto& fcd = fc_[li];
+    if (fcd.hosts.empty()) continue;
+    std::vector<sf> deps;
+    deps.push_back(mom_set[li]);
+    for (const index_t h : fcd.hosts)
+      deps.push_back(mom_set[static_cast<std::size_t>(h)]);
+    if (prev != nullptr) {
+      deps.push_back(prev->exp_free[li]);
+      for (const index_t h : fcd.hosts)
+        deps.push_back(prev->exp_free[static_cast<std::size_t>(h)]);
+    }
+    fcpair[li] = track(amt::dataflow(
+        [this, l] {
+          const apex::scoped_trace_span span("gravity.fine_coarse");
+          compute_fine_coarse_pairs(l);
+        },
+        std::move(deps), rt));
+  }
+
+  // Apply tasks fold the pair buffers into the expansions after every M2L
+  // chunk of the node (same per-cell accumulation order as solve()).
+  std::vector<sf> fcapply(nn);
+  for (index_t n = 0; n < topo_.num_nodes(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    if (!has_fc_work(n)) continue;
+    std::vector<sf> deps(m2l[ni].begin(), m2l[ni].end());
+    if (fcpair[ni].valid()) deps.push_back(fcpair[ni]);
+    for (const index_t f : fc_[ni].clients)
+      deps.push_back(fcpair[static_cast<std::size_t>(f)]);
+    fcapply[ni] = track(amt::dataflow(
+        [this, n] {
+          const apex::scoped_trace_span span("gravity.fine_coarse_apply");
+          apply_fine_coarse(n);
+        },
+        std::move(deps), rt));
+  }
+
+  // L2L child-on-parent: a node's expansions are complete (exp_done) once
+  // its M2L chunks, fine-coarse apply and own L2L shift have run; each
+  // child's L2L waits on the parent's exp_done, not on the whole level.
+  std::vector<sf> exp_done(nn);
+  std::vector<sf> l2l(nn);
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    for (const index_t n : levels_[lvl]) {
+      const auto ni = static_cast<std::size_t>(n);
+      if (n == topo_.root()) {
+        std::vector<sf> deps(m2l[ni].begin(), m2l[ni].end());
+        if (fcapply[ni].valid()) deps.push_back(fcapply[ni]);
+        exp_done[ni] = amt::when_all(std::move(deps), rt);
+        continue;
+      }
+      const index_t par = topo_.node(n).parent;
+      std::vector<sf> deps;
+      deps.push_back(exp_done[static_cast<std::size_t>(par)]);
+      for (const auto& t : m2l[ni]) deps.push_back(t);
+      if (fcapply[ni].valid()) deps.push_back(fcapply[ni]);
+      l2l[ni] = track(amt::dataflow(
+          [this, n] {
+            const apex::scoped_trace_span span("gravity.l2l");
+            compute_l2l(n);
+          },
+          std::move(deps), rt));
+      exp_done[ni] = l2l[ni];
+    }
+  }
+
+  // Leaf evaluation: phi/g out the moment the leaf's expansions settle.
+  for (const index_t l : topo_.leaves()) {
+    const auto li = static_cast<std::size_t>(l);
+    g.leaf_out[li] = track(amt::dataflow(
+        [this, l] {
+          const apex::scoped_trace_span span("gravity.evaluate_leaf");
+          evaluate_leaf(l);
+        },
+        {exp_done[li]}, rt));
+  }
+
+  // mom_free[n]: every reader of n's moments — the parent's M2M, the M2L
+  // launches of n and its neighbors (halo), the fine-coarse pair tasks on
+  // either side, and the L2L shifts of n (own + parent COMs) and of its
+  // children (which read n's COMs).
+  for (index_t n = 0; n < topo_.num_nodes(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const tree::tnode& tn = topo_.node(n);
+    std::vector<sf> readers;
+    if (tn.parent != tree::invalid_node)
+      readers.push_back(mom_set[static_cast<std::size_t>(tn.parent)]);
+    for (const auto& t : m2l[ni]) readers.push_back(t);
+    for (int d = 0; d < NNEIGHBOR; ++d) {
+      const index_t nb = topo_.neighbor(n, d);
+      if (nb == tree::invalid_node) continue;
+      for (const auto& t : m2l[static_cast<std::size_t>(nb)])
+        readers.push_back(t);
+    }
+    if (fcpair[ni].valid()) readers.push_back(fcpair[ni]);
+    for (const index_t f : fc_[ni].clients)
+      readers.push_back(fcpair[static_cast<std::size_t>(f)]);
+    if (l2l[ni].valid()) readers.push_back(l2l[ni]);
+    if (!tn.leaf)
+      for (const index_t ch : tn.children)
+        readers.push_back(l2l[static_cast<std::size_t>(ch)]);
+    g.mom_free[ni] = amt::when_all(std::move(readers), rt);
+  }
+
+  // exp_free[n]: leaves are done once evaluated; interior expansions are
+  // last read by the children's L2L shifts.
+  for (index_t n = 0; n < topo_.num_nodes(); ++n) {
+    const auto ni = static_cast<std::size_t>(n);
+    const tree::tnode& tn = topo_.node(n);
+    if (tn.leaf) {
+      g.exp_free[ni] = g.leaf_out[ni];
+    } else {
+      std::vector<sf> readers;
+      for (const index_t ch : tn.children)
+        readers.push_back(l2l[static_cast<std::size_t>(ch)]);
+      g.exp_free[ni] = amt::when_all(std::move(readers), rt);
+    }
+  }
+
+  (void)space;
+  return g;
 }
 
 // ---------------------------------------------------------------------------

@@ -22,7 +22,7 @@
 #include <span>
 #include <vector>
 
-#include "amt/sync.hpp"
+#include "amt/future.hpp"
 #include "common/types.hpp"
 #include "common/vec3.hpp"
 #include "exec/execution_space.hpp"
@@ -57,6 +57,39 @@ class fmm_solver {
   /// Run the full FMM.  The execution space supplies the runtime; the
   /// option's m2l_chunks controls kernel splitting.
   void solve(const exec::amt_space& space = exec::amt_space{});
+
+  /// Handles into one dataflow FMM solve: per-node completion edges that a
+  /// graph-building step pipeline wires into the next stage's tasks.  All
+  /// vectors are node-indexed; entries that do not apply (e.g. leaf_out of
+  /// an interior node) are invalid shared_futures, which `amt::dataflow`
+  /// ignores.
+  struct solve_graph {
+    /// Every task of this solve that *reads* node n's moments is done —
+    /// the WAR gate before the next stage's set_leaf_density / M2M.
+    std::vector<amt::shared_future<void>> mom_free;
+    /// Node n's expansions are no longer read or written — the WAR/WAW
+    /// gate before the next solve's zeroing pass.
+    std::vector<amt::shared_future<void>> exp_free;
+    /// Leaf n's outputs (phi/g) are ready — feeds the next hydro stage.
+    std::vector<amt::shared_future<void>> leaf_out;
+    /// Every task in build order (deterministic); the step's final join.
+    std::vector<amt::shared_future<void>> tasks;
+  };
+
+  /// Build the full FMM as a dependency-driven task graph (the Fig. 9
+  /// split expressed as per-node dependencies instead of chunked barriers):
+  /// zero -> M2M (parent on children) -> M2L per (node, chunk) -> mutual
+  /// fine-coarse pair tasks + deterministic per-node applies -> L2L
+  /// (child on parent) -> leaf evaluation.  \p mom_ready[n] gates reading
+  /// leaf n's moments (the caller's set_leaf_from_subgrid task); \p prev
+  /// carries the previous solve's read/write edges for WAR/WAW hazards
+  /// across RK stages (nullptr when the step entry was a global join).
+  /// Bitwise-identical to solve(): every cell's accumulation order is
+  /// zero -> M2L(+P2P) -> fine-coarse apply -> L2L in both modes.
+  solve_graph solve_dataflow(
+      const exec::amt_space& space,
+      const std::vector<amt::shared_future<void>>& mom_ready,
+      const solve_graph* prev = nullptr);
 
   /// Potential at the leaf's cells (valid after solve; layout (i*N+j)*N+k,
   /// padded stride CP — use cell_index()).
@@ -99,26 +132,32 @@ class fmm_solver {
     std::vector<real> mom;  ///< NMOM x CP moments
     std::vector<real> exp;  ///< NEXP x CP expansions
     std::vector<real> out;  ///< 4 x CP: phi, gx, gy, gz (leaves only)
-    amt::spinlock lock;     ///< guards exp during mutual scatters
+  };
 
-    node_data() = default;
-    // Movable for vector storage; the lock is never held across moves.
-    node_data(node_data&& o) noexcept
-        : mom(std::move(o.mom)), exp(std::move(o.exp)), out(std::move(o.out)) {}
-    node_data& operator=(node_data&& o) noexcept {
-      mom = std::move(o.mom);
-      exp = std::move(o.exp);
-      out = std::move(o.out);
-      return *this;
-    }
+  /// Refinement-boundary bookkeeping (fixed per topology).  The mutual
+  /// fine-coarse monopole pass is split into a *pair* phase that writes
+  /// private accumulation buffers and an *apply* phase that folds them into
+  /// the expansions in deterministic order (own fine-side contribution
+  /// first, then clients ascending by node index) — no locks, and bitwise
+  /// identical between the barriered and dataflow solves.
+  struct fc_data {
+    std::vector<index_t> hosts;    ///< coarser leaf neighbors (fine leaves)
+    std::vector<index_t> clients;  ///< finer leaf neighbors, ascending
+    std::vector<real> self_acc;    ///< 4 x C3 fine-side accumulator
+    std::vector<std::vector<real>> host_acc;  ///< 4 x C3 per host, by hosts[]
   };
 
   void compute_m2m(index_t node);
   void compute_m2l(index_t node, int chunk, int nchunks);
   void compute_m2l_root();
-  void compute_fine_coarse(index_t node);
+  void compute_fine_coarse_pairs(index_t node);
+  void apply_fine_coarse(index_t node);
   void compute_l2l(index_t node);
   void evaluate_leaf(index_t node);
+  bool has_fc_work(index_t node) const {
+    const auto& fc = fc_[static_cast<std::size_t>(node)];
+    return !fc.hosts.empty() || !fc.clients.empty();
+  }
 
   template <typename P>
   void m2l_impl(index_t node, const std::vector<real>& halo,
@@ -135,6 +174,7 @@ class fmm_solver {
   const tree::topology& topo_;
   gravity_options opt_;
   std::vector<node_data> nodes_;
+  std::vector<fc_data> fc_;                   ///< per node
   std::vector<std::vector<index_t>> levels_;  ///< node indices per level
 };
 
