@@ -5,7 +5,11 @@
 /// cores busy), a noticeable speedup at 128 nodes where cores starve
 /// during the distributed tree traversals.
 
+#include <cstdio>
+
 #include "amt/runtime.hpp"
+#include "apex/analyze.hpp"
+#include "apex/metrics.hpp"
 #include "app/simulation.hpp"
 #include "fig_common.hpp"
 #include "gravity/solver.hpp"
@@ -64,7 +68,11 @@ void dataflow_mode() {
               "4 workers):\n");
   auto sc = scen::rotating_star();
   table t({"step mode", "steps", "wall [ms]", "worker idle [ms]",
-           "idle fraction"});
+           "idle fraction", "crit path [ms]"});
+  // Each mode emits real metrics JSONL; the comparison below runs through
+  // the same load + baseline_diff path as `octo_analyze --baseline`.
+  const char* jsonl[2] = {"bench_fig9_barrier.metrics.jsonl",
+                          "bench_fig9_dataflow.metrics.jsonl"};
   double idle_ms[2] = {0, 0};
   int mi = 0;
   for (const auto mode : {app::step_mode::barrier, app::step_mode::dataflow}) {
@@ -74,27 +82,55 @@ void dataflow_mode() {
     so.max_level = 3;
     so.mode = mode;
     app::simulation sim(sc, so);
+    apex::metrics_sink sink;
+    bench::check(sink.open(jsonl[mi]), "metrics sink opens");
     sim.initialize();
     sim.step();  // warm-up: lazy allocations out of the measured window
+    sim.set_metrics_sink(&sink);
     const auto s0 = rt.stats();
     const int steps = 4;
-    double wall = 0;
+    double wall = 0, crit_ms = 0;
     for (int i = 0; i < steps; ++i) {
       sim.step();
       wall += sim.last_step_metrics().step_seconds;
+      crit_ms += sim.last_step_metrics().crit_path_us * 1e-3;
     }
     const auto s1 = rt.stats();
+    sim.set_metrics_sink(nullptr);
+    sink.close();
     idle_ms[mi] = static_cast<double>(s1.idle_ns - s0.idle_ns) * 1e-6;
     const double frac = wall > 0 ? idle_ms[mi] * 1e-3 / (wall * 4) : 0;
     t.add_row({mi == 0 ? "barrier" : "dataflow",
                table::fmt(static_cast<long long>(steps)),
                table::fmt(wall * 1e3), table::fmt(idle_ms[mi]),
-               table::fmt(frac)});
+               table::fmt(frac), table::fmt(crit_ms)});
     ++mi;
   }
   t.print(std::cout);
   bench::check(idle_ms[1] < idle_ms[0],
                "dependency-driven step strictly reduces worker idle time");
+
+  // Offline round trip: reload both series and diff them exactly like
+  // `octo_analyze --baseline barrier.jsonl dataflow.jsonl` would.
+  const auto barrier = apex::load_metrics_jsonl(jsonl[0]);
+  const auto dataflow = apex::load_metrics_jsonl(jsonl[1]);
+  bench::check(barrier.size() == 4 && dataflow.size() == 4,
+               "metrics JSONL round-trips all measured steps");
+  double idle_b = 0, idle_d = 0;
+  for (const auto& r : barrier) idle_b += r.idle_fraction;
+  for (const auto& r : dataflow) idle_d += r.idle_fraction;
+  bench::check(idle_d < idle_b,
+               "reloaded idle_fraction series agrees: dataflow idles less");
+  for (const auto& r : dataflow)
+    bench::check(r.crit_path_us > 0 &&
+                     r.crit_path_us <= r.step_seconds * 1e6,
+                 "recorded critical path is positive and <= step wall time");
+  const auto regs = apex::baseline_diff(barrier, dataflow, 1e4);
+  apex::print_baseline_diff(std::cout, regs, 1e4);
+  bench::check(regs.empty(),
+               "dataflow is not 100x slower than barrier on any column");
+  std::remove(jsonl[0]);
+  std::remove(jsonl[1]);
 }
 
 }  // namespace

@@ -39,6 +39,8 @@
 #include "amt/runtime.hpp"
 #include "amt/unique_function.hpp"
 #include "apex/apex.hpp"
+#include "apex/dag.hpp"
+#include "apex/trace.hpp"
 #include "common/error.hpp"
 
 namespace octo::amt {
@@ -551,8 +553,16 @@ inline std::exception_ptr first_dep_error(
 /// *not* run and the returned future carries the first exception in \p deps
 /// order.  Invalid (default-constructed) entries in \p deps are ignored, so
 /// callers can keep optional edges in fixed-shape arrays.
+///
+/// \p name is the node's kernel class for task-graph profiling
+/// (apex/dag.hpp): when a step recording is active the node's dependency
+/// edges, ready/start/end times, and executing worker are captured under
+/// that label.  Off, the cost is one relaxed load.  The timing writes go
+/// into the node's private slot and are ordered by the scheduler's own
+/// happens-before chain (registration -> last decrement -> post -> run),
+/// so the recording adds no synchronization of its own.
 template <typename F>
-auto dataflow(F&& f, std::vector<shared_future<void>> deps,
+auto dataflow(const char* name, F&& f, std::vector<shared_future<void>> deps,
               runtime& rt = runtime::global())
     -> future<std::invoke_result_t<F>> {
   using R = std::invoke_result_t<F>;
@@ -569,24 +579,43 @@ auto dataflow(F&& f, std::vector<shared_future<void>> deps,
     promise<R> done;
     std::decay_t<F> fn;
     runtime* rt;
+    apex::dag_node* dag = nullptr;  ///< profile slot, or null
     node_state(std::size_t n, std::vector<shared_future<void>> d, F&& func,
                runtime* r)
         : remaining(n), deps(std::move(d)), fn(std::forward<F>(func)), rt(r) {}
 
     void fire() {
+      // Last dependency just resolved (or creation found all ready).
+      if (dag != nullptr) dag->ready_ns = apex::trace::now_ns();
       rt->post([self = this->self.lock()] {
+        apex::dag_node* const dag = self->dag;
+        if (dag != nullptr) {
+          dag->start_ns = apex::trace::now_ns();
+          dag->worker = self->rt->worker_index();
+        }
         if (auto e = detail::first_dep_error(self->deps)) {
+          if (dag != nullptr) {
+            dag->end_ns = dag->start_ns;  // body never ran
+            dag->failed = true;
+          }
           self->done.set_exception(e);
           return;
         }
         try {
           if constexpr (std::is_void_v<R>) {
             self->fn();
+            if (dag != nullptr) dag->end_ns = apex::trace::now_ns();
             self->done.set_value();
           } else {
-            self->done.set_value(self->fn());
+            auto v = self->fn();
+            if (dag != nullptr) dag->end_ns = apex::trace::now_ns();
+            self->done.set_value(std::move(v));
           }
         } catch (...) {
+          if (dag != nullptr) {
+            dag->end_ns = apex::trace::now_ns();
+            dag->failed = true;
+          }
           self->done.set_exception(std::current_exception());
         }
       });
@@ -599,6 +628,17 @@ auto dataflow(F&& f, std::vector<shared_future<void>> deps,
                                          std::forward<F>(f), &rt);
   ns->self = ns;
   auto result = ns->done.get_future();
+
+  if (apex::dag_recorder::enabled()) {
+    std::vector<const void*> dep_states;
+    dep_states.reserve(ns->deps.size());
+    for (const auto& d : ns->deps) dep_states.push_back(d.state().get());
+    ns->dag = apex::dag_recorder::instance().on_create(
+        name, ns->done.state().get(), dep_states.data(), dep_states.size());
+    // Baseline: overwritten in fire() (which happens-after this write via
+    // the continuation registrations below).
+    if (ns->dag != nullptr) ns->dag->ready_ns = apex::trace::now_ns();
+  }
 
   bool deferred = false;
   for (auto& d : deps_copy) {
@@ -614,6 +654,15 @@ auto dataflow(F&& f, std::vector<shared_future<void>> deps,
   // already satisfied (or the list was empty).
   if (ns->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) ns->fire();
   return result;
+}
+
+/// Unnamed dataflow: same scheduling, profiled under the generic "task"
+/// kernel class.
+template <typename F>
+auto dataflow(F&& f, std::vector<shared_future<void>> deps,
+              runtime& rt = runtime::global())
+    -> future<std::invoke_result_t<F>> {
+  return dataflow("task", std::forward<F>(f), std::move(deps), rt);
 }
 
 /// All shared dependencies resolved -> future<void>, resolved *inline* on
@@ -637,13 +686,33 @@ inline future<void> when_all(std::vector<shared_future<void>> deps,
   };
   auto js = std::make_shared<join_state>(deps.size(), deps);
   auto result = js->done.get_future();
+
+  // Profile pure joins as zero-duration "join" nodes so dependency chains
+  // that pass through them stay connected in the recorded graph.
+  apex::dag_node* dag = nullptr;
+  if (apex::dag_recorder::enabled()) {
+    std::vector<const void*> dep_states;
+    dep_states.reserve(deps.size());
+    for (const auto& d : deps) dep_states.push_back(d.state().get());
+    dag = apex::dag_recorder::instance().on_create(
+        "join", js->done.state().get(), dep_states.data(), dep_states.size());
+    if (dag != nullptr)
+      dag->ready_ns = dag->start_ns = dag->end_ns = apex::trace::now_ns();
+  }
+
   for (auto& d : deps) {
-    d.state()->add_continuation([js] {
+    d.state()->add_continuation([js, dag] {
       if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        if (auto e = detail::first_dep_error(js->deps))
+        if (dag != nullptr) {
+          dag->ready_ns = dag->start_ns = dag->end_ns = apex::trace::now_ns();
+          dag->worker = -1;  // resolved inline on the last producer
+        }
+        if (auto e = detail::first_dep_error(js->deps)) {
+          if (dag != nullptr) dag->failed = true;
           js->done.set_exception(e);
-        else
+        } else {
           js->done.set_value();
+        }
       }
     });
   }

@@ -46,6 +46,11 @@ runtime::~runtime() {
     while (task_fn* t = w->deque.pop()) delete t;
   }
   if (g_global.load() == this) g_global.store(nullptr);
+  // Re-flush the trace now that the workers are joined: the atexit writer
+  // may already have run (atexit order vs. static runtime destruction is
+  // unspecified), which would drop every span recorded after it.  A no-op
+  // without an OCTO_TRACE path; idempotent otherwise.
+  apex::trace::instance().write_to_file();
 }
 
 void runtime::post(task_fn f) {

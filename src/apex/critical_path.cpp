@@ -1,0 +1,137 @@
+#include "apex/critical_path.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "apex/apex.hpp"
+
+namespace octo::apex {
+
+namespace {
+
+std::uint64_t duration_ns(const dag_node& n) {
+  return n.end_ns > n.start_ns ? n.end_ns - n.start_ns : 0;
+}
+
+}  // namespace
+
+critical_path_result analyze_critical_path(const graph_profile& g) {
+  critical_path_result r;
+  r.nodes = g.nodes.size();
+  if (g.nodes.empty()) return r;
+
+  // dist[i]: longest duration-weighted chain ending at node i.
+  // Creation order is topological (deps are created before dependents), so
+  // one forward pass suffices.  Tie-break: the *lowest* predecessor id
+  // wins, making the reported path deterministic across runs.
+  const std::size_t n = g.nodes.size();
+  std::vector<std::uint64_t> dist(n, 0);
+  std::vector<std::int64_t> pred(n, -1);
+  std::uint64_t t_min = ~std::uint64_t(0), t_max = 0;
+
+  std::map<std::int32_t, worker_load> workers;
+  for (std::size_t i = 0; i < n; ++i) {
+    const dag_node& node = g.nodes[i];
+    const std::uint64_t dur = duration_ns(node);
+    r.longest_task_ns = std::max(r.longest_task_ns, dur);
+    r.class_total_ns[node.cls] += dur;
+    r.edges += node.deps.size();
+    t_min = std::min(t_min, node.ready_ns);
+    t_max = std::max(t_max, node.end_ns);
+    auto& w = workers[node.worker];
+    w.worker = node.worker;
+    w.busy_ns += dur;
+    ++w.tasks;
+
+    std::uint64_t best = 0;
+    std::int64_t best_pred = -1;
+    for (const std::uint32_t d : node.deps) {
+      if (d >= i) continue;  // defensive: malformed edge
+      if (best_pred < 0 || dist[d] > best ||
+          (dist[d] == best && static_cast<std::int64_t>(d) < best_pred)) {
+        best = dist[d];
+        best_pred = static_cast<std::int64_t>(d);
+      }
+    }
+    dist[i] = best + dur;
+    pred[i] = best_pred;
+  }
+  r.makespan_ns = t_max > t_min ? t_max - t_min : 0;
+
+  // Sink: maximum dist, lowest id on ties.
+  std::size_t sink = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    if (dist[i] > dist[sink]) sink = i;
+  r.length_ns = dist[sink];
+
+  for (std::int64_t i = static_cast<std::int64_t>(sink); i >= 0;
+       i = pred[static_cast<std::size_t>(i)]) {
+    const dag_node& node = g.nodes[static_cast<std::size_t>(i)];
+    r.path.push_back(node.id);
+    r.class_ns[node.cls] += duration_ns(node);
+    r.path_failed = r.path_failed || node.failed;
+  }
+  std::reverse(r.path.begin(), r.path.end());
+
+  for (const auto& [idx, w] : workers) {
+    (void)idx;
+    r.workers.push_back(w);
+  }
+  std::uint64_t max_busy = 0, sum_busy = 0;
+  std::size_t nworkers = 0;
+  for (const auto& w : r.workers) {
+    if (w.worker < 0) continue;  // external/helping threads: not a worker
+    max_busy = std::max(max_busy, w.busy_ns);
+    sum_busy += w.busy_ns;
+    ++nworkers;
+  }
+  if (max_busy > 0 && nworkers > 0) {
+    const double mean =
+        static_cast<double>(sum_busy) / static_cast<double>(nworkers);
+    r.imbalance = (static_cast<double>(max_busy) - mean) /
+                  static_cast<double>(max_busy);
+  }
+  return r;
+}
+
+void export_critical_path_counters(const critical_path_result& r) {
+  auto& reg = registry::instance();
+  static const metric_id crit_us = reg.counter("dag.crit_path_us");
+  static const metric_id nodes = reg.counter("dag.nodes");
+  static const metric_id edges = reg.counter("dag.edges");
+  reg.add(crit_us, r.length_ns / 1000);
+  reg.add(nodes, r.nodes);
+  reg.add(edges, r.edges);
+  // Per-class contribution counters are registered on first sight (the
+  // class set is small and static: one per kernel name).
+  for (const auto& [cls, ns] : r.class_ns)
+    reg.add(reg.counter("dag.crit." + cls + "_us"), ns / 1000);
+}
+
+void print_critical_path(std::ostream& os, const critical_path_result& r) {
+  os << "critical path: " << r.path.size() << " of " << r.nodes
+     << " tasks, " << static_cast<double>(r.length_ns) * 1e-6 << " ms ("
+     << r.crit_path_frac() * 100 << "% of " << 1e-6 *
+     static_cast<double>(r.makespan_ns) << " ms makespan)";
+  if (r.path_failed) os << " [contains a failed task]";
+  os << "\n";
+  for (const auto& [cls, ns] : r.class_ns) {
+    const std::uint64_t total = r.class_total_ns.count(cls)
+                                    ? r.class_total_ns.at(cls)
+                                    : 0;
+    os << "  " << cls << ": " << static_cast<double>(ns) * 1e-6
+       << " ms on path (" << static_cast<double>(total) * 1e-6
+       << " ms total)\n";
+  }
+  os << "  worker imbalance: " << r.imbalance << "\n";
+  for (const auto& w : r.workers) {
+    os << "  worker " << w.worker << ": " << w.tasks << " tasks, "
+       << static_cast<double>(w.busy_ns) * 1e-6 << " ms busy, "
+       << (r.makespan_ns >= w.busy_ns
+               ? static_cast<double>(r.makespan_ns - w.busy_ns) * 1e-6
+               : 0.0)
+       << " ms slack\n";
+  }
+}
+
+}  // namespace octo::apex

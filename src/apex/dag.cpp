@@ -1,0 +1,52 @@
+#include "apex/dag.hpp"
+
+namespace octo::apex {
+
+std::atomic<bool>& dag_recorder::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+dag_recorder& dag_recorder::instance() {
+  static dag_recorder r;
+  return r;
+}
+
+void dag_recorder::begin_step() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  nodes_.clear();
+  state_index_.clear();
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+graph_profile dag_recorder::end_step() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  graph_profile g;
+  g.nodes.assign(nodes_.begin(), nodes_.end());
+  nodes_.clear();
+  state_index_.clear();
+  return g;
+}
+
+dag_node* dag_recorder::on_create(const char* cls, const void* out_state,
+                                  const void* const* dep_states,
+                                  std::size_t ndeps) {
+  if (!enabled()) return nullptr;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dag_node node;
+  node.cls = cls != nullptr ? cls : "task";
+  node.id = static_cast<std::uint32_t>(nodes_.size());
+  node.deps.reserve(ndeps);
+  for (std::size_t i = 0; i < ndeps; ++i) {
+    const auto it = state_index_.find(dep_states[i]);
+    if (it != state_index_.end()) node.deps.push_back(it->second);
+  }
+  nodes_.push_back(std::move(node));
+  // Later registration wins on address reuse: a freed state's slot can be
+  // recycled by the allocator mid-step once no edge references it.
+  state_index_[out_state] = nodes_.back().id;
+  return &nodes_.back();
+}
+
+}  // namespace octo::apex

@@ -1,0 +1,47 @@
+#include "apex/flow.hpp"
+
+namespace octo::apex {
+
+std::atomic<bool>& flow_recorder::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+flow_recorder& flow_recorder::instance() {
+  static flow_recorder* r = new flow_recorder();  // leaked: see trace
+  return *r;
+}
+
+void flow_recorder::set_clock_skew(std::uint32_t loc, std::int64_t skew_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (skews_.size() <= loc) skews_.resize(loc + 1, 0);
+  skews_[loc] = skew_ns;
+}
+
+std::int64_t flow_recorder::clock_skew(std::uint32_t loc) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loc < skews_.size() ? skews_[loc] : 0;
+}
+
+void flow_recorder::record(const flow_sample& s) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(s);
+}
+
+std::vector<flow_sample> flow_recorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::size_t flow_recorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+void flow_recorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+}
+
+}  // namespace octo::apex

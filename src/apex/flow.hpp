@@ -1,0 +1,85 @@
+#pragma once
+/// \file flow.hpp
+/// Cross-locality message-flow recording: every reliable-transport slab
+/// that is freshly delivered becomes a *flow sample* — (link, seq, source
+/// locality, destination locality, send timestamp, receive timestamp,
+/// bytes).  Two consumers:
+///
+///   * `dist::merge_traces` turns each sample into a Chrome trace flow
+///     event pair (`ph:"s"` at the sender, `ph:"f"` at the receiver) so
+///     Perfetto draws the arrows between locality timelines, and
+///   * `dist::clock_offset_estimator` uses the per-link minimum one-way
+///     delay to align the per-locality clocks before the merge.
+///
+/// Clock model: the in-process cluster shares one steady clock, which
+/// would make offset estimation trivially exact.  To exercise the real
+/// problem — on Fugaku every node has its own TSC — each locality can be
+/// given a deliberate skew (`set_clock_skew`); `now_loc()` is the skewed
+/// clock all of that locality's flow stamps use, and the estimator must
+/// recover the skews from the samples alone.
+///
+/// Cost: disabled (the default) the hooks are one relaxed atomic load;
+/// enabled, each sample takes a mutex push (messages are orders of
+/// magnitude rarer than task spans).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "apex/trace.hpp"
+
+namespace octo::apex {
+
+/// One freshly delivered transport slab, stamped at both ends.
+struct flow_sample {
+  std::uint64_t link = 0;         ///< transport channel id
+  std::uint64_t seq = 0;          ///< per-link sequence number
+  std::uint32_t src_loc = 0;      ///< sending locality
+  std::uint32_t dst_loc = 0;      ///< receiving locality
+  std::uint64_t send_ts_ns = 0;   ///< sender's (skewed) clock at send
+  std::uint64_t recv_ts_ns = 0;   ///< receiver's (skewed) clock at delivery
+  std::uint64_t bytes = 0;        ///< payload size
+};
+
+/// Process-wide flow sample log, driven by dist::transport.
+class flow_recorder {
+ public:
+  static flow_recorder& instance();
+
+  /// Fast path for the transport hooks.
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+  }
+
+  /// Per-locality clock skew added on top of the shared trace clock
+  /// (simulates independent node clocks; 0 for unknown localities).
+  void set_clock_skew(std::uint32_t loc, std::int64_t skew_ns);
+  std::int64_t clock_skew(std::uint32_t loc) const;
+
+  /// Locality-local timestamp: shared trace clock + that locality's skew.
+  std::uint64_t now_loc(std::uint32_t loc) const {
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(trace::now_ns()) + clock_skew(loc));
+  }
+
+  void record(const flow_sample& s);
+
+  /// Copy of everything recorded so far (sender order per link).
+  std::vector<flow_sample> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  flow_recorder() = default;
+  static std::atomic<bool>& enabled_flag();
+
+  mutable std::mutex mutex_;
+  std::vector<flow_sample> samples_;
+  std::vector<std::int64_t> skews_;  ///< indexed by locality
+};
+
+}  // namespace octo::apex

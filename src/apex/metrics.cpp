@@ -23,16 +23,17 @@ bool metrics_sink::open(const std::string& path) {
 void metrics_sink::emit(const step_record& rec) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!out_.is_open()) return;
-  char line[768];
+  char line[1024];
   if (format_ == format::csv) {
     if (emitted_ == 0)
       out_ << "step,time,dt,step_seconds,exchange_seconds,gravity_seconds,"
               "hydro_seconds,subgrids,cells,cells_per_sec,"
               "transport_retries,transport_timeouts,transport_dups_dropped,"
-              "localities_lost,leaves_migrated,idle_fraction\n";
+              "localities_lost,leaves_migrated,idle_fraction,"
+              "crit_path_us,crit_path_frac,imbalance\n";
     std::snprintf(line, sizeof line,
                   "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%llu,%.9g,"
-                  "%llu,%llu,%llu,%llu,%llu,%.9g\n",
+                  "%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g\n",
                   rec.step, rec.time, rec.dt, rec.step_seconds,
                   rec.exchange_seconds, rec.gravity_seconds,
                   rec.hydro_seconds,
@@ -44,7 +45,8 @@ void metrics_sink::emit(const step_record& rec) {
                   static_cast<unsigned long long>(rec.transport_dups_dropped),
                   static_cast<unsigned long long>(rec.localities_lost),
                   static_cast<unsigned long long>(rec.leaves_migrated),
-                  rec.idle_fraction);
+                  rec.idle_fraction, rec.crit_path_us, rec.crit_path_frac,
+                  rec.imbalance);
   } else {
     std::snprintf(
         line, sizeof line,
@@ -54,7 +56,8 @@ void metrics_sink::emit(const step_record& rec) {
         "\"cells_per_sec\":%.9g,\"transport_retries\":%llu,"
         "\"transport_timeouts\":%llu,\"transport_dups_dropped\":%llu,"
         "\"localities_lost\":%llu,\"leaves_migrated\":%llu,"
-        "\"idle_fraction\":%.9g}\n",
+        "\"idle_fraction\":%.9g,\"crit_path_us\":%.9g,"
+        "\"crit_path_frac\":%.9g,\"imbalance\":%.9g}\n",
         rec.step, rec.time, rec.dt, rec.step_seconds, rec.exchange_seconds,
         rec.gravity_seconds, rec.hydro_seconds,
         static_cast<unsigned long long>(rec.subgrids),
@@ -64,7 +67,8 @@ void metrics_sink::emit(const step_record& rec) {
         static_cast<unsigned long long>(rec.transport_dups_dropped),
         static_cast<unsigned long long>(rec.localities_lost),
         static_cast<unsigned long long>(rec.leaves_migrated),
-        rec.idle_fraction);
+        rec.idle_fraction, rec.crit_path_us, rec.crit_path_frac,
+        rec.imbalance);
   }
   out_ << line;
   out_.flush();  // steps are seconds-scale; make records crash-durable

@@ -42,6 +42,11 @@ struct step_record {
   /// (from amt::runtime_stats::idle_ns deltas) — the measured series behind
   /// the barrier-vs-dataflow comparison (Fig. 9's starvation, quantified).
   double idle_fraction = 0;
+  /// Dataflow-mode task-graph profile (apex/critical_path.hpp); all zero
+  /// when the step ran barriered or DAG recording was off.
+  double crit_path_us = 0;   ///< longest duration-weighted task chain
+  double crit_path_frac = 0; ///< crit path / graph makespan (1 = chain-bound)
+  double imbalance = 0;      ///< (max-mean)/max worker busy time
 
   /// Fill cells_per_sec from cells and step_seconds.
   void finalize() {

@@ -157,19 +157,18 @@ void trace::record_instant(const char* name) {
   impl_->get_buffer()->push({name, now_ns(), 0, trace_event::kind::instant});
 }
 
-void trace::write(std::ostream& os) const {
+std::uint64_t trace::write_body(std::ostream& os, int pid,
+                                bool& first) const {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   const auto flags = os.flags();
   const auto precision = os.precision();
   os << std::fixed << std::setprecision(3);
-  os << "{\"traceEvents\":[";
-  bool first = true;
   std::uint64_t total_dropped = 0;
   for (const auto& buf : impl_->buffers) {
     total_dropped += buf->dropped.load(std::memory_order_relaxed);
     if (!buf->name.empty()) {
       os << (first ? "" : ",")
-         << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << buf->tid
+         << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << buf->tid
          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
          << json_escape(buf->name) << "\"}}";
       first = false;
@@ -178,7 +177,7 @@ void trace::write(std::ostream& os) const {
     for (std::size_t i = 0; i < n; ++i) {
       const trace_event& ev = buf->events[i];
       os << (first ? "" : ",") << "{\"name\":\"" << json_escape(ev.name)
-         << "\",\"cat\":\"octo\",\"pid\":0,\"tid\":" << buf->tid
+         << "\",\"cat\":\"octo\",\"pid\":" << pid << ",\"tid\":" << buf->tid
          << ",\"ts\":" << static_cast<double>(ev.ts_ns) * 1e-3;
       if (ev.type == trace_event::kind::span)
         os << ",\"ph\":\"X\",\"dur\":" << static_cast<double>(ev.dur_ns) * 1e-3;
@@ -188,10 +187,17 @@ void trace::write(std::ostream& os) const {
       first = false;
     }
   }
-  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
-     << total_dropped << "}}\n";
   os.flags(flags);
   os.precision(precision);
+  return total_dropped;
+}
+
+void trace::write(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const std::uint64_t total_dropped = write_body(os, 0, first);
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+     << total_dropped << "}}\n";
 }
 
 bool trace::write_to_file() const {

@@ -73,6 +73,10 @@ class trace {
 
   /// Serialize everything recorded so far as Chrome trace-event JSON.
   void write(std::ostream& os) const;
+  /// Emit just the event objects (comma separated, honoring and updating
+  /// \p first) with the given Chrome-trace pid.  Composition hook for the
+  /// per-locality / merged writers in dist.  Returns the dropped count.
+  std::uint64_t write_body(std::ostream& os, int pid, bool& first) const;
   /// Write to the path given to enable(); returns false if none/IO error.
   bool write_to_file() const;
   const std::string& path() const { return path_; }

@@ -5,6 +5,8 @@
 
 #include "amt/future.hpp"
 #include "apex/apex.hpp"
+#include "apex/critical_path.hpp"
+#include "apex/dag.hpp"
 #include "apex/trace.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
@@ -297,7 +299,7 @@ void simulation::step_graph(real dt) {
   std::vector<sf> snap(nn);
   for (const index_t l : leaves)
     snap[static_cast<std::size_t>(l)] = track(amt::dataflow(
-        [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+        "snapshot", [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
         std::vector<sf>{}, rt));
 
   // Per-stage edges of the previous RK stage (WAR/WAW hazards).
@@ -339,7 +341,7 @@ void simulation::step_graph(real dt) {
         if (prevD[li].valid()) deps.push_back(prevD[li]);
       }
       H[li] = track(amt::dataflow(
-          [this, l, dt, ca, cb] {
+          "hydro-RK", [this, l, dt, ca, cb] {
             const apex::scoped_trace_span span("app.hydro.leaf");
             static thread_local hydro::workspace ws;
             static thread_local std::vector<real> dudt;
@@ -388,7 +390,7 @@ void simulation::step_graph(real dt) {
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         }
         R[ni] = track(amt::dataflow(
-            [this, n] {
+            "restrict", [this, n] {
               const apex::scoped_trace_span span("app.exchange.restrict");
               const auto& nd2 = topo_->node(n);
               for (int oct = 0; oct < NCHILD; ++oct)
@@ -419,7 +421,7 @@ void simulation::step_graph(real dt) {
           deps.push_back(prevP[static_cast<std::size_t>(f)]);  // WAR
       }
       C[ni] = track(amt::dataflow(
-          [this, n] {
+          "copy", [this, n] {
             const apex::scoped_trace_span span("app.exchange.copy");
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(n, d);
@@ -453,7 +455,7 @@ void simulation::step_graph(real dt) {
           for (const index_t f : pclients[li])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);  // WAR
         P[li] = track(amt::dataflow(
-            [this, l] {
+            "prolong", [this, l] {
               const apex::scoped_trace_span span("app.exchange.prolong");
               const auto& nd = topo_->node(l);
               for (int d = 0; d < NNEIGHBOR; ++d) {
@@ -478,7 +480,7 @@ void simulation::step_graph(real dt) {
         deps.push_back(H[li]);
         if (have_gprev) deps.push_back(gprev.mom_free[li]);
         D[li] = track(amt::dataflow(
-            [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
+            "set-density", [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
             std::move(deps), rt));
         mom_ready[li] = D[li];
       }
@@ -508,7 +510,7 @@ void simulation::step_graph(real dt) {
       deps.push_back(prevC[li]);
       if (prevP[li].valid()) deps.push_back(prevP[li]);
       all.push_back(sf(amt::dataflow(
-          [this, l, i, &vmax_slots] {
+          "dt-reduce", [this, l, i, &vmax_slots] {
             vmax_slots[i] =
                 hydro::max_signal_speed(grids_[l], opt_.hydro) /
                 topo_->cell_width(l);
@@ -541,8 +543,30 @@ real simulation::step() {
   phase_exchange_s_ = phase_gravity_s_ = phase_hydro_s_ = 0;
   const amt::runtime_stats stats0 = space_.runtime().stats();
 
+  // Record the step's task graph only when someone is observing (a trace
+  // sink or a metrics sink): dataflow's hot path stays one relaxed load
+  // otherwise.
+  const bool record_dag =
+      opt_.mode == step_mode::dataflow &&
+      (apex::trace::enabled() || metrics_ != nullptr);
+  apex::critical_path_result crit;
+  bool have_crit = false;
   if (opt_.mode == step_mode::dataflow) {
-    step_graph(dt);
+    if (record_dag) apex::dag_recorder::instance().begin_step();
+    try {
+      step_graph(dt);
+    } catch (...) {
+      // step_graph drained the graph before rethrowing; the partial
+      // recording is worthless — discard it and re-arm nothing.
+      if (record_dag) (void)apex::dag_recorder::instance().end_step();
+      throw;
+    }
+    if (record_dag) {
+      crit = apex::analyze_critical_path(
+          apex::dag_recorder::instance().end_step());
+      apex::export_critical_path_counters(crit);
+      have_crit = true;
+    }
   } else {
     step_barrier(dt);
     // Re-evaluate the CFL condition on the evolved state so the next
@@ -573,6 +597,11 @@ real simulation::step() {
   if (busy_ns > 0) {
     last_metrics_.idle_fraction =
         static_cast<double>(stats1.idle_ns - stats0.idle_ns) / busy_ns;
+  }
+  if (have_crit) {
+    last_metrics_.crit_path_us = static_cast<double>(crit.length_ns) / 1e3;
+    last_metrics_.crit_path_frac = crit.crit_path_frac();
+    last_metrics_.imbalance = crit.imbalance;
   }
   last_metrics_.finalize();
   if (metrics_ != nullptr) metrics_->emit(last_metrics_);

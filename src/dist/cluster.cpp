@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <ostream>
 #include <utility>
 
 #include "amt/future.hpp"
 #include "apex/apex.hpp"
+#include "apex/critical_path.hpp"
+#include "apex/dag.hpp"
+#include "apex/flow.hpp"
 #include "apex/trace.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
@@ -21,6 +29,104 @@ cluster::cluster(const scen::scenario& sc, dist_options opt,
                  exec::amt_space space)
     : scenario_(sc), opt_(opt), space_(space) {
   OCTO_CHECK(opt_.num_localities >= 1);
+  // OCTO_TRACE naming an existing directory selects the distributed-trace
+  // workflow (a file path keeps the plain single-trace behaviour the apex
+  // bootstrap already handles).
+  if (const char* env = std::getenv("OCTO_TRACE")) {
+    std::error_code ec;
+    if (env[0] != '\0' && std::filesystem::is_directory(env, ec)) {
+      std::int64_t skew_ns = 2'000'000;
+      if (const char* sk = std::getenv("OCTO_TRACE_SKEW_US")) {
+        const long v = std::strtol(sk, nullptr, 10);
+        if (v >= 0) skew_ns = static_cast<std::int64_t>(v) * 1000;
+      }
+      set_trace_dir(env, skew_ns);
+    }
+  }
+}
+
+cluster::~cluster() {
+  if (trace_dir_.empty() || !initialized_) return;
+  try {
+    write_trace_bundle(trace_dir_);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist::cluster: trace bundle failed: %s\n",
+                 e.what());
+  }
+}
+
+void cluster::set_trace_dir(const std::string& dir,
+                            std::int64_t skew_ns_per_locality) {
+  trace_dir_ = dir;
+  trace_skew_ns_ = skew_ns_per_locality;
+  auto& tr = apex::trace::instance();
+  // Record spans, but route the single-file writer away from the
+  // directory: the bundle writer below owns every file in there.
+  tr.enable("");
+  auto& fr = apex::flow_recorder::instance();
+  for (int k = 0; k < opt_.num_localities; ++k)
+    fr.set_clock_skew(static_cast<std::uint32_t>(k),
+                      skew_ns_per_locality * k);
+  apex::flow_recorder::set_enabled(true);
+}
+
+merge_result cluster::write_trace_bundle(const std::string& dir) {
+  const auto flows = apex::flow_recorder::instance().snapshot();
+  std::vector<std::string> files;
+  files.reserve(static_cast<std::size_t>(opt_.num_localities));
+  for (int k = 0; k < opt_.num_localities; ++k) {
+    std::string path = dir + "/trace.loc" + std::to_string(k) + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    OCTO_CHECK_MSG(out.good(), "cannot write " + path);
+    // The in-process cluster shares one worker pool; its span timelines
+    // are written once, under locality 0's pid.
+    write_locality_trace(out, k, flows, /*include_spans=*/k == 0);
+    files.push_back(std::move(path));
+  }
+  const merge_result res = merge_traces(files, dir + "/trace.merged.json");
+  std::ofstream rep(dir + "/cluster_report.txt", std::ios::trunc);
+  if (rep.good()) write_cluster_report(rep);
+  return res;
+}
+
+void cluster::write_cluster_report(std::ostream& os) const {
+  const auto flows = apex::flow_recorder::instance().snapshot();
+  const auto nloc = static_cast<std::size_t>(opt_.num_localities);
+  os << "=== cluster report (" << opt_.num_localities << " localities, "
+     << live_localities() << " alive, " << steps_ << " steps) ===\n";
+
+  struct loc_traffic {
+    std::uint64_t sent = 0, received = 0, bytes_out = 0;
+  };
+  std::vector<loc_traffic> traffic(nloc);
+  for (const auto& f : flows) {
+    if (f.src_loc < nloc) {
+      ++traffic[f.src_loc].sent;
+      traffic[f.src_loc].bytes_out += f.bytes;
+    }
+    if (f.dst_loc < nloc) ++traffic[f.dst_loc].received;
+  }
+  const auto offsets = offset_est_.offsets(nloc);
+  for (std::size_t k = 0; k < nloc; ++k) {
+    os << "locality " << k << ": " << traffic[k].sent << " slabs out ("
+       << traffic[k].bytes_out << " B), " << traffic[k].received
+       << " in; clock skew " << trace_skew_ns_ * static_cast<std::int64_t>(k)
+       << " ns, estimated offset " << offsets[k] << " ns\n";
+  }
+  os << "flow samples: " << flows.size() << " (" << offset_est_.samples()
+     << " used for offset estimation)\n";
+
+  const transport_stats ts = transport_statistics();
+  os << "transport: " << ts.messages << " messages, " << ts.retries
+     << " retries, " << ts.timeouts << " timeouts, " << ts.dups_dropped
+     << " dups dropped\n";
+  os << "exchange: " << stats_.local_direct << " direct / "
+     << stats_.local_serialized << " local-serialized / "
+     << stats_.remote_messages << " remote slabs, "
+     << stats_.bytes_serialized << " B serialized\n";
+
+  os << "--- aggregated apex counters (all localities) ---\n";
+  apex::registry::instance().report(os);
 }
 
 void cluster::initialize() {
@@ -524,7 +630,7 @@ void cluster::step_graph(real dt) {
   std::vector<sf> snap(nn);
   for (const index_t l : leaves)
     snap[static_cast<std::size_t>(l)] = track(amt::dataflow(
-        [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+        "snapshot", [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
         std::vector<sf>{}, rt));
 
   std::vector<sf> prevH(nn), prevR(nn), prevC(nn), prevP(nn), prevD(nn),
@@ -580,7 +686,7 @@ void cluster::step_graph(real dt) {
         if (prevD[li].valid()) deps.push_back(prevD[li]);
       }
       H[li] = track(amt::dataflow(
-          [this, l, dt, ca, cb] {
+          "hydro-RK", [this, l, dt, ca, cb] {
             const apex::scoped_trace_span span("dist.hydro.leaf");
             static thread_local hydro::workspace ws;
             static thread_local std::vector<real> dudt;
@@ -625,7 +731,7 @@ void cluster::step_graph(real dt) {
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         }
         R[ni] = track(amt::dataflow(
-            [this, n] {
+            "restrict", [this, n] {
               const auto& nd = topo_->node(n);
               for (int oct = 0; oct < NCHILD; ++oct)
                 grid::restrict_to_coarse(grids_[nd.children[oct]], oct,
@@ -655,7 +761,7 @@ void cluster::step_graph(real dt) {
           deps.push_back(prevP[static_cast<std::size_t>(f)]);
       }
       C[ni] = track(amt::dataflow(
-          [this, n] {
+          "copy", [this, n] {
             const bool leaf2 = topo_->node(n).leaf;
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(n, d);
@@ -688,7 +794,7 @@ void cluster::step_graph(real dt) {
       deps.push_back(H[li]);
       if (prevSend[li].valid()) deps.push_back(prevSend[li]);
       SEND[li] = track(amt::dataflow(
-          [this, l, counts] {
+          "send", [this, l, counts] {
             const apex::scoped_trace_span span("dist.exchange.send");
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(l, d);
@@ -767,7 +873,7 @@ void cluster::step_graph(real dt) {
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         }
         UNP[link] = track(amt::dataflow(
-            [this, l, d, slots, link] {
+            "unpack", [this, l, d, slots, link] {
               const apex::scoped_trace_span span("dist.exchange.unpack");
               boundary_msg msg = std::move((*slots)[link]);
               if (msg.direct) {
@@ -811,7 +917,7 @@ void cluster::step_graph(real dt) {
           for (const index_t f : pclients[li])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         P[li] = track(amt::dataflow(
-            [this, l] {
+            "prolong", [this, l] {
               const auto& nd = topo_->node(l);
               for (int d = 0; d < NNEIGHBOR; ++d) {
                 if (nd.neighbors[d] != tree::invalid_node) continue;
@@ -835,7 +941,7 @@ void cluster::step_graph(real dt) {
         deps.push_back(H[li]);
         if (have_gprev) deps.push_back(gprev.mom_free[li]);
         D[li] = track(amt::dataflow(
-            [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
+            "set-density", [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
             std::move(deps), rt));
         mom_ready[li] = D[li];
       }
@@ -873,7 +979,7 @@ void cluster::step_graph(real dt) {
               leaf_slot_[l] * NNEIGHBOR + d)]);
       }
       track(amt::dataflow(
-          [this, l, i, &vmax_slots] {
+          "dt-reduce", [this, l, i, &vmax_slots] {
             vmax_slots[i] =
                 hydro::max_signal_speed(grids_[l], opt_.sim.hydro) /
                 topo_->cell_width(l);
@@ -944,8 +1050,30 @@ real cluster::step() {
   double exchange_s = 0, gravity_s = 0, hydro_s = 0;
   const amt::runtime_stats rt_stats0 = space_.runtime().stats();
 
+  // Task-graph profiling: record the step's dataflow DAG whenever someone
+  // is looking (a trace or a metrics sink).  Off for plain runs, so the
+  // dataflow hot path stays one relaxed load.
+  const bool record_dag =
+      dataflow && (apex::trace::enabled() || metrics_ != nullptr);
+  apex::critical_path_result crit;
+  bool have_crit = false;
+
   if (dataflow) {
-    step_graph(dt);
+    if (record_dag) apex::dag_recorder::instance().begin_step();
+    try {
+      step_graph(dt);
+    } catch (...) {
+      // step_graph drained before rethrowing, so ending the recording
+      // here is safe; the partial graph is discarded.
+      if (record_dag) (void)apex::dag_recorder::instance().end_step();
+      throw;
+    }
+    if (record_dag) {
+      crit = apex::analyze_critical_path(
+          apex::dag_recorder::instance().end_step());
+      apex::export_critical_path_counters(crit);
+      have_crit = true;
+    }
   } else {
     step_barrier(dt, exchange_s, gravity_s, hydro_s);
     // Re-evaluate the CFL condition on the evolved state (mirrors
@@ -989,9 +1117,23 @@ real cluster::step() {
   if (busy_ns > 0)
     rec.idle_fraction =
         static_cast<double>(rt_stats1.idle_ns - rt_stats0.idle_ns) / busy_ns;
+  if (have_crit) {
+    rec.crit_path_us = static_cast<double>(crit.length_ns) / 1000.0;
+    rec.crit_path_frac = crit.crit_path_frac();
+    rec.imbalance = crit.imbalance;
+  }
   rec.finalize();
   last_metrics_ = rec;
   if (metrics_ != nullptr) metrics_->emit(rec);
+
+  // Refine the clock-offset estimate with this step's fresh flow samples:
+  // the per-link minima only sharpen as more slabs transit.
+  if (apex::flow_recorder::enabled()) {
+    const auto flows = apex::flow_recorder::instance().snapshot();
+    for (std::size_t i = flows_consumed_; i < flows.size(); ++i)
+      offset_est_.observe(flows[i]);
+    flows_consumed_ = flows.size();
+  }
   return dt;
 }
 

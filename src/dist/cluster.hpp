@@ -46,6 +46,7 @@
 #include "apex/metrics.hpp"
 #include "app/simulation.hpp"
 #include "dist/recovery.hpp"
+#include "dist/trace_merge.hpp"
 #include "dist/transport.hpp"
 #include "tree/partition.hpp"
 
@@ -84,6 +85,8 @@ class cluster {
  public:
   cluster(const scen::scenario& sc, dist_options opt,
           exec::amt_space space = exec::amt_space{});
+  /// Writes the distributed trace bundle (see set_trace_dir) when armed.
+  ~cluster();
 
   void initialize();
   real step();
@@ -119,6 +122,27 @@ class cluster {
   /// step() with transport/recovery counters next to cells/second.
   void set_metrics_sink(apex::metrics_sink* sink) { metrics_ = sink; }
   const apex::step_record& last_step_metrics() const { return last_metrics_; }
+
+  /// Arm distributed tracing into \p dir: span recording plus per-locality
+  /// message-flow stamps on deliberately skewed locality clocks
+  /// (skew_ns_per_locality x locality index simulates independent node
+  /// clocks; the merge has to undo it).  The bundle — trace.locK.json per
+  /// locality, the clock-aligned trace.merged.json, cluster_report.txt —
+  /// is written by write_trace_bundle(), or automatically at destruction.
+  /// Also armed from the environment: OCTO_TRACE naming an existing
+  /// *directory* selects this mode (OCTO_TRACE_SKEW_US overrides the
+  /// per-locality skew, default 2000 us).
+  void set_trace_dir(const std::string& dir,
+                     std::int64_t skew_ns_per_locality = 2'000'000);
+
+  /// Write the distributed trace bundle into \p dir (see set_trace_dir)
+  /// and return the merge summary (offsets applied, flows matched).
+  merge_result write_trace_bundle(const std::string& dir);
+
+  /// Cluster-wide end-of-run report: aggregated apex counters for all
+  /// localities, per-locality traffic totals, estimated clock offsets vs.
+  /// the configured skews, transport statistics.
+  void write_cluster_report(std::ostream& os) const;
 
   grid::subgrid& leaf(index_t node);
   const grid::subgrid& leaf(index_t node) const;
@@ -197,6 +221,14 @@ class cluster {
 
   apex::metrics_sink* metrics_ = nullptr;
   apex::step_record last_metrics_{};
+
+  /// Distributed-trace state (set_trace_dir): output directory, configured
+  /// per-locality skew, the live offset estimator (refined every step from
+  /// new flow samples), and how many samples it has already consumed.
+  std::string trace_dir_;
+  std::int64_t trace_skew_ns_ = 0;
+  clock_offset_estimator offset_est_;
+  std::size_t flows_consumed_ = 0;
 
   exchange_stats stats_;
   real time_ = 0;

@@ -1,0 +1,267 @@
+#include "dist/trace_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+
+#include "apex/trace.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace octo::dist {
+
+void clock_offset_estimator::observe(std::uint32_t src, std::uint32_t dst,
+                                     std::int64_t send_ts_ns,
+                                     std::int64_t recv_ts_ns) {
+  if (src == dst) return;  // same clock: no information
+  const std::int64_t delta = recv_ts_ns - send_ts_ns;
+  const auto key = std::make_pair(src, dst);
+  const auto it = min_delta_.find(key);
+  if (it == min_delta_.end())
+    min_delta_.emplace(key, delta);
+  else
+    it->second = std::min(it->second, delta);
+  ++samples_;
+}
+
+std::vector<std::int64_t> clock_offset_estimator::offsets(
+    std::size_t num_localities) const {
+  std::vector<std::int64_t> off(num_localities, 0);
+  if (num_localities == 0) return off;
+
+  // rel(a, b) estimates skew_b - skew_a from the directed minima; the
+  // caller subtracts it when crossing the edge a -> b.
+  const auto rel = [this](std::uint32_t a,
+                          std::uint32_t b) -> std::int64_t {
+    const auto ab = min_delta_.find({a, b});
+    const auto ba = min_delta_.find({b, a});
+    if (ab != min_delta_.end() && ba != min_delta_.end())
+      return (ab->second - ba->second) / 2;
+    if (ab != min_delta_.end()) return ab->second;
+    return -ba->second;
+  };
+
+  // Adjacency over observed pairs (either direction), capped to the
+  // requested locality count.
+  std::vector<std::vector<std::uint32_t>> adj(num_localities);
+  for (const auto& [key, delta] : min_delta_) {
+    (void)delta;
+    if (key.first >= num_localities || key.second >= num_localities)
+      continue;
+    adj[key.first].push_back(key.second);
+    adj[key.second].push_back(key.first);
+  }
+
+  std::vector<bool> seen(num_localities, false);
+  std::queue<std::uint32_t> bfs;
+  bfs.push(0);
+  seen[0] = true;
+  while (!bfs.empty()) {
+    const std::uint32_t a = bfs.front();
+    bfs.pop();
+    for (const std::uint32_t b : adj[a]) {
+      if (seen[b]) continue;
+      seen[b] = true;
+      // off maps onto locality 0's clock: crossing a -> b accumulates
+      // -(skew_b - skew_a) on top of a's correction.
+      off[b] = off[a] - rel(a, b);
+      bfs.push(b);
+    }
+  }
+  return off;
+}
+
+namespace {
+
+void write_flow_half(std::ostream& os, bool& first, const char* ph, int pid,
+                     const apex::flow_sample& s, std::uint64_t ts_ns) {
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%s{\"ph\":\"%s\"%s,\"cat\":\"flow\",\"name\":\"slab\","
+                "\"id\":\"l%llu.s%llu\",\"pid\":%d,\"tid\":0,"
+                "\"ts\":%.3f,\"args\":{\"bytes\":%llu}}",
+                first ? "" : ",", ph,
+                ph[0] == 'f' ? ",\"bp\":\"e\"" : "",
+                static_cast<unsigned long long>(s.link),
+                static_cast<unsigned long long>(s.seq), pid,
+                static_cast<double>(ts_ns) * 1e-3,
+                static_cast<unsigned long long>(s.bytes));
+  os << line;
+  first = false;
+}
+
+/// Serialize a parsed json::value back out (used by the merger to re-emit
+/// events it only adjusted, preserving fields it does not understand).
+void write_json(std::ostream& os, const json::value& v) {
+  switch (v.type()) {
+    case json::value::kind::null: os << "null"; break;
+    case json::value::kind::boolean: os << (v.as_bool() ? "true" : "false");
+      break;
+    case json::value::kind::number: {
+      const double d = v.as_number();
+      if (std::nearbyint(d) == d && std::fabs(d) < 1e15) {
+        os << static_cast<long long>(d);
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", d);
+        os << buf;
+      }
+      break;
+    }
+    case json::value::kind::string: {
+      os << '"';
+      for (const char c : v.as_string()) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof buf, "\\u%04x", c);
+              os << buf;
+            } else {
+              os << c;
+            }
+        }
+      }
+      os << '"';
+      break;
+    }
+    case json::value::kind::array: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : v.as_array()) {
+        if (!first) os << ',';
+        write_json(os, e);
+        first = false;
+      }
+      os << ']';
+      break;
+    }
+    case json::value::kind::object: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) os << ',';
+        write_json(os, json::value(k));
+        os << ':';
+        write_json(os, e);
+        first = false;
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void write_locality_trace(std::ostream& os, int locality,
+                          const std::vector<apex::flow_sample>& flows,
+                          bool include_spans) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  os << "{\"ph\":\"M\",\"pid\":" << locality
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"locality "
+     << locality << "\"}}";
+  first = false;
+  for (const auto& s : flows) {
+    if (static_cast<int>(s.src_loc) == locality)
+      write_flow_half(os, first, "s", locality, s, s.send_ts_ns);
+    if (static_cast<int>(s.dst_loc) == locality)
+      write_flow_half(os, first, "f", locality, s, s.recv_ts_ns);
+  }
+  if (include_spans)
+    apex::trace::instance().write_body(os, locality, first);
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+merge_result merge_traces(const std::vector<std::string>& inputs,
+                          const std::string& output) {
+  merge_result res;
+  res.offsets_ns.assign(inputs.size(), 0);
+
+  std::vector<json::value> docs(inputs.size());
+  std::vector<bool> have(inputs.size(), false);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    std::ifstream in(inputs[k], std::ios::binary);
+    if (!in.good()) continue;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    docs[k] = json::parse(ss.str());
+    have[k] = true;
+    ++res.localities;
+  }
+  OCTO_CHECK_MSG(res.localities > 0, "merge_traces: no readable inputs");
+
+  // Pass 1: collect flow halves across all files and estimate offsets.
+  struct half {
+    int pid = 0;
+    double ts_us = 0;
+    bool seen = false;
+  };
+  std::unordered_map<std::string, std::pair<half, half>> halves;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    if (!have[k]) continue;
+    const json::value* events = docs[k].find("traceEvents");
+    OCTO_CHECK_MSG(events != nullptr && events->is_array(),
+                   inputs[k] + ": no traceEvents array");
+    for (const json::value& ev : events->as_array()) {
+      if (!ev.is_object()) continue;
+      const std::string ph = ev.string_or("ph", "");
+      if (ph != "s" && ph != "f") continue;
+      const std::string id = ev.string_or("id", "");
+      if (id.empty()) continue;
+      auto& pair = halves[id];
+      half& h = ph == "s" ? pair.first : pair.second;
+      h.pid = static_cast<int>(ev.number_or("pid", 0));
+      h.ts_us = ev.number_or("ts", 0);
+      h.seen = true;
+    }
+  }
+  clock_offset_estimator est;
+  for (const auto& [id, pair] : halves) {
+    (void)id;
+    if (!pair.first.seen || !pair.second.seen) continue;
+    if (pair.first.pid < 0 || pair.second.pid < 0) continue;
+    est.observe(static_cast<std::uint32_t>(pair.first.pid),
+                static_cast<std::uint32_t>(pair.second.pid),
+                static_cast<std::int64_t>(pair.first.ts_us * 1e3),
+                static_cast<std::int64_t>(pair.second.ts_us * 1e3));
+    ++res.flows;
+  }
+  res.offsets_ns = est.offsets(inputs.size());
+
+  // Pass 2: re-emit every event with its locality's offset applied.
+  std::ofstream out(output, std::ios::trunc);
+  OCTO_CHECK_MSG(out.good(), "merge_traces: cannot write " + output);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    if (!have[k]) continue;
+    const double off_us = static_cast<double>(res.offsets_ns[k]) * 1e-3;
+    for (const json::value& ev : docs[k].find("traceEvents")->as_array()) {
+      if (!ev.is_object()) continue;
+      json::object o = ev.as_object();  // copy: adjust ts, keep the rest
+      const auto ts = o.find("ts");
+      if (ts != o.end() && ts->second.is_number())
+        ts->second = json::value(ts->second.as_number() + off_us);
+      if (!first) out << ',';
+      write_json(out, json::value(std::move(o)));
+      first = false;
+      ++res.events;
+    }
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  OCTO_CHECK_MSG(out.good(), "merge_traces: write failed on " + output);
+  return res;
+}
+
+}  // namespace octo::dist

@@ -1,0 +1,90 @@
+#pragma once
+/// \file trace_merge.hpp
+/// Cross-locality trace correlation: estimate per-locality clock offsets
+/// from message-flow stamps and merge per-locality Chrome traces into one
+/// causally consistent timeline.
+///
+/// On Fugaku every node stamps events with its own clock; the only
+/// cross-node observations are messages (sent at t_send on A's clock,
+/// delivered at t_recv on B's clock).  The estimator uses the classic
+/// minimum-one-way-delay construction: over many samples,
+///
+///   min(recv - send)[A->B]  =  d_min + (skew_B - skew_A)
+///   min(recv - send)[B->A]  =  d_min - (skew_B - skew_A)
+///
+/// so half the difference recovers the relative skew, and subtracting it
+/// re-expresses B's clock on A's.  The midpoint guarantees causal order
+/// for *every* sample: after alignment recv - send >= (min_AB + min_BA)/2
+/// >= 0, because the two minima sum to a round-trip of real (nonnegative)
+/// delays.  With traffic in only one direction the full minimum is used
+/// (zero-delay assumption), which still aligns that direction causally.
+///
+/// Offsets are solved relative to locality 0 by walking the graph of
+/// observed pairs (localities without traffic keep offset 0), and every
+/// new step's samples can be folded in — the minima only sharpen.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apex/flow.hpp"
+
+namespace octo::dist {
+
+/// Per-locality clock offset estimation from flow samples.
+class clock_offset_estimator {
+ public:
+  /// Fold in one message observation (timestamps on each end's own clock).
+  void observe(std::uint32_t src, std::uint32_t dst, std::int64_t send_ts_ns,
+               std::int64_t recv_ts_ns);
+  void observe(const apex::flow_sample& s) {
+    observe(s.src_loc, s.dst_loc, static_cast<std::int64_t>(s.send_ts_ns),
+            static_cast<std::int64_t>(s.recv_ts_ns));
+  }
+  void observe_all(const std::vector<apex::flow_sample>& samples) {
+    for (const auto& s : samples) observe(s);
+  }
+
+  std::uint64_t samples() const { return samples_; }
+
+  /// offsets()[k] is added to locality k's timestamps to express them on
+  /// locality 0's clock.  Localities with no observed traffic (directly or
+  /// transitively to locality 0) stay at 0.
+  std::vector<std::int64_t> offsets(std::size_t num_localities) const;
+
+ private:
+  /// Directed (src, dst) -> min over samples of recv_ts - send_ts.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> min_delta_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Write one locality's Chrome trace file: `pid` = locality, a
+/// process_name metadata record, this locality's halves of every flow
+/// (`ph:"s"` for sends, `ph:"f"` for receives, ids "l<link>.s<seq>") on
+/// its own clock, and — when \p include_spans — the process-wide apex
+/// span timelines.  The in-process cluster shares one worker pool, so the
+/// span body is real for exactly one pid; callers pass include_spans for
+/// locality 0 only.
+void write_locality_trace(std::ostream& os, int locality,
+                          const std::vector<apex::flow_sample>& flows,
+                          bool include_spans);
+
+struct merge_result {
+  std::size_t localities = 0;  ///< input files found and merged
+  std::size_t events = 0;      ///< events written to the merged trace
+  std::size_t flows = 0;       ///< matched cross-locality flow pairs
+  std::vector<std::int64_t> offsets_ns;  ///< alignment applied per locality
+};
+
+/// Merge per-locality Chrome trace files (inputs[k] = locality k's trace;
+/// missing files are skipped) into \p output: estimate clock offsets from
+/// the matched flow-event pairs found in the inputs, shift every event of
+/// locality k by offsets[k], and write one combined trace.  Throws
+/// octo::error when no input parses or the output cannot be written.
+merge_result merge_traces(const std::vector<std::string>& inputs,
+                          const std::string& output);
+
+}  // namespace octo::dist

@@ -828,7 +828,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     if (prev != nullptr)
       deps.push_back(prev->exp_free[static_cast<std::size_t>(n)]);
     zero[static_cast<std::size_t>(n)] = track(amt::dataflow(
-        [this, n] {
+        "zero", [this, n] {
           std::fill(nodes_[n].exp.begin(), nodes_[n].exp.end(), real(0));
         },
         std::move(deps), rt));
@@ -850,7 +850,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
         deps.push_back(mom_set[static_cast<std::size_t>(ch)]);
       if (prev != nullptr) deps.push_back(prev->mom_free[ni]);
       mom_set[ni] = track(amt::dataflow(
-          [this, n] {
+          "M2M", [this, n] {
             const apex::scoped_trace_span span("gravity.m2m");
             compute_m2m(n);
           },
@@ -878,7 +878,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     m2l[ni].reserve(static_cast<std::size_t>(nc));
     for (int c = 0; c < nc; ++c) {
       m2l[ni].push_back(track(amt::dataflow(
-          [this, n, c, nc] {
+          "M2L", [this, n, c, nc] {
             const apex::scoped_trace_span span("gravity.m2l");
             compute_m2l(n, c, nc);
           },
@@ -903,7 +903,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
         deps.push_back(prev->exp_free[static_cast<std::size_t>(h)]);
     }
     fcpair[li] = track(amt::dataflow(
-        [this, l] {
+        "fc-pair", [this, l] {
           const apex::scoped_trace_span span("gravity.fine_coarse");
           compute_fine_coarse_pairs(l);
         },
@@ -921,7 +921,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     for (const index_t f : fc_[ni].clients)
       deps.push_back(fcpair[static_cast<std::size_t>(f)]);
     fcapply[ni] = track(amt::dataflow(
-        [this, n] {
+        "fc-apply", [this, n] {
           const apex::scoped_trace_span span("gravity.fine_coarse_apply");
           apply_fine_coarse(n);
         },
@@ -948,7 +948,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
       for (const auto& t : m2l[ni]) deps.push_back(t);
       if (fcapply[ni].valid()) deps.push_back(fcapply[ni]);
       l2l[ni] = track(amt::dataflow(
-          [this, n] {
+          "L2L", [this, n] {
             const apex::scoped_trace_span span("gravity.l2l");
             compute_l2l(n);
           },
@@ -961,7 +961,7 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
   for (const index_t l : topo_.leaves()) {
     const auto li = static_cast<std::size_t>(l);
     g.leaf_out[li] = track(amt::dataflow(
-        [this, l] {
+        "evaluate", [this, l] {
           const apex::scoped_trace_span span("gravity.evaluate_leaf");
           evaluate_leaf(l);
         },

@@ -1,0 +1,252 @@
+/// Cross-locality trace correlation (dist/trace_merge.hpp): clock-offset
+/// estimation from flow samples, per-locality trace emission, merge into
+/// one causally ordered timeline, and the full 4-locality cluster round
+/// trip through the offline analyzer (apex/analyze.hpp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "amt/runtime.hpp"
+#include "apex/analyze.hpp"
+#include "apex/flow.hpp"
+#include "apex/metrics.hpp"
+#include "apex/trace.hpp"
+#include "common/error.hpp"
+#include "dist/cluster.hpp"
+#include "dist/trace_merge.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace {
+
+using namespace octo;
+namespace fs = std::filesystem;
+
+apex::flow_sample sample(std::uint64_t link, std::uint64_t seq,
+                         std::uint32_t src, std::uint32_t dst,
+                         std::uint64_t send_ns, std::uint64_t recv_ns) {
+  return {link, seq, src, dst, send_ns, recv_ns, 512};
+}
+
+TEST(ClockOffsetEstimator, RecoversSymmetricSkew) {
+  // Locality 1's clock runs 5 ms ahead of locality 0's; both directions
+  // carry traffic with one-way delays >= 1 us (so the midpoint's integer
+  // truncation is buried in real slack).
+  const std::int64_t skew = 5'000'000;
+  dist::clock_offset_estimator est;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t t = 1'000'000 * (i + 1);
+    const std::uint64_t delay = 1'000 + 100 * i;
+    est.observe(0, 1, static_cast<std::int64_t>(t),
+                static_cast<std::int64_t>(t + delay) + skew);
+    est.observe(1, 0, static_cast<std::int64_t>(t) + skew,
+                static_cast<std::int64_t>(t + delay));
+  }
+  EXPECT_EQ(est.samples(), 16u);
+  const auto off = est.offsets(2);
+  EXPECT_EQ(off[0], 0);
+  // Midpoint of the two directed minima recovers the skew exactly (both
+  // minima carry the same 1 us floor).
+  EXPECT_EQ(off[1], -skew);
+}
+
+TEST(ClockOffsetEstimator, OneDirectionFallsBackToFullMinimum) {
+  dist::clock_offset_estimator est;
+  est.observe(0, 1, 1'000'000, 1'000'000 + 3'000'000 + 2'000);
+  est.observe(0, 1, 2'000'000, 2'000'000 + 3'000'000 + 1'000);
+  const auto off = est.offsets(2);
+  // Zero-delay assumption: the full minimum (skew + min delay) is undone.
+  EXPECT_EQ(off[1], -(3'000'000 + 1'000));
+}
+
+TEST(ClockOffsetEstimator, TransitiveOffsetsViaBfs) {
+  // 0 <-> 1 skewed +2 ms, 1 <-> 2 skewed +3 ms on top: locality 2 ends up
+  // +5 ms relative to 0 without ever talking to it.
+  dist::clock_offset_estimator est;
+  const std::int64_t s1 = 2'000'000, s2 = 5'000'000;
+  est.observe(0, 1, 1'000'000, 1'000'000 + 1'000 + s1);
+  est.observe(1, 0, 1'000'000 + s1, 1'000'000 + 1'000);
+  est.observe(1, 2, 1'000'000 + s1, 1'000'000 + 1'000 + s2);
+  est.observe(2, 1, 1'000'000 + s2, 1'000'000 + 1'000 + s1);
+  const auto off = est.offsets(4);
+  EXPECT_EQ(off[0], 0);
+  EXPECT_EQ(off[1], -s1);
+  EXPECT_EQ(off[2], -s2);
+  EXPECT_EQ(off[3], 0);  // never observed: stays on its own clock
+}
+
+TEST(TraceMerge, SyntheticTwoLocalityBundleIsCausal) {
+  const std::string dir = testing::TempDir() + "/octo_merge_synth";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Locality 1's clock is 4 ms ahead.  Build flows with real delays of
+  // 10..80 us; each sample's timestamps are on the *local* clocks.
+  const std::int64_t skew = 4'000'000;
+  std::vector<apex::flow_sample> flows;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t t = 500'000 + 200'000 * i;
+    const std::uint64_t delay = 10'000 * (i + 1);
+    if (i % 2 == 0) {  // 0 -> 1: recv on 1's (fast) clock
+      flows.push_back(sample(0, i, 0, 1, t,
+                             t + delay + static_cast<std::uint64_t>(skew)));
+    } else {  // 1 -> 0: send on 1's clock
+      flows.push_back(sample(1, i, 1, 0,
+                             t + static_cast<std::uint64_t>(skew),
+                             t + delay));
+    }
+  }
+
+  const std::string p0 = dir + "/trace.loc0.json";
+  const std::string p1 = dir + "/trace.loc1.json";
+  {
+    std::ofstream o0(p0), o1(p1);
+    dist::write_locality_trace(o0, 0, flows, false);
+    dist::write_locality_trace(o1, 1, flows, false);
+  }
+
+  const std::string merged = dir + "/trace.merged.json";
+  const auto res = dist::merge_traces({p0, p1}, merged);
+  EXPECT_EQ(res.localities, 2u);
+  EXPECT_EQ(res.flows, 8u);
+  ASSERT_EQ(res.offsets_ns.size(), 2u);
+  EXPECT_EQ(res.offsets_ns[0], 0);
+  // Minimum delay is 10 us in one direction, 20 us in the other; the
+  // midpoint lands within 5 us of the true skew.
+  EXPECT_NEAR(static_cast<double>(res.offsets_ns[1]),
+              static_cast<double>(-skew), 5'000.0);
+
+  // Reload through the analyzer: every flow pair must be matched and
+  // causally ordered after alignment, and sends stay monotone per link.
+  const auto t = apex::load_chrome_trace(merged);
+  EXPECT_EQ(t.flows.size(), 8u);
+  EXPECT_EQ(t.unmatched_flows, 0u);
+  for (const auto& f : t.flows)
+    EXPECT_GE(f.recv_ts_us, f.send_ts_us) << "flow " << f.id;
+  double prev = -1;
+  for (const auto& f : t.flows) {  // sorted by send_ts
+    EXPECT_GE(f.send_ts_us, prev);
+    prev = f.send_ts_us;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(TraceMerge, MissingInputsAreSkippedEmptyThrows) {
+  const std::string dir = testing::TempDir() + "/octo_merge_missing";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string p0 = dir + "/trace.loc0.json";
+  {
+    std::ofstream o0(p0);
+    dist::write_locality_trace(o0, 0, {}, false);
+  }
+  const auto res = dist::merge_traces({p0, dir + "/nope.json"},
+                                      dir + "/merged.json");
+  EXPECT_EQ(res.localities, 1u);
+  EXPECT_EQ(res.flows, 0u);
+  EXPECT_THROW(dist::merge_traces({dir + "/nope.json"}, dir + "/m.json"),
+               octo::error);
+  fs::remove_all(dir);
+}
+
+/// The acceptance scenario: a 4-locality cluster in dataflow mode with
+/// tracing armed writes a bundle whose merged trace is causally ordered,
+/// and the analyzer + metrics round-trip bounds the critical path.
+TEST(TraceMerge, FourLocalityClusterBundleRoundTrip) {
+  const std::string dir = testing::TempDir() + "/octo_cluster_trace";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  amt::runtime rt(4);
+  amt::scoped_global_runtime guard(rt);
+  apex::trace::instance().clear();
+
+  const std::string metrics_path = dir + "/metrics.jsonl";
+  dist::merge_result res;
+  double max_step_seconds = 0;
+  {
+    auto sc = scen::rotating_star();
+    dist::dist_options o;
+    o.num_localities = 4;
+    o.sim.max_level = 1;
+    o.sim.mode = app::step_mode::dataflow;
+    dist::cluster c(sc, o);
+    c.set_trace_dir(dir);  // simulated skew: k x 2 ms
+    apex::metrics_sink sink;
+    ASSERT_TRUE(sink.open(metrics_path));
+    c.set_metrics_sink(&sink);
+    c.initialize();
+    for (int i = 0; i < 2; ++i) {
+      c.step();
+      max_step_seconds =
+          std::max(max_step_seconds, c.last_step_metrics().step_seconds);
+      // Tentpole acceptance: recorded crit path fits inside the step.
+      EXPECT_GT(c.last_step_metrics().crit_path_us, 0);
+      EXPECT_LE(c.last_step_metrics().crit_path_us,
+                c.last_step_metrics().step_seconds * 1e6);
+      EXPECT_GT(c.last_step_metrics().crit_path_frac, 0);
+      EXPECT_LE(c.last_step_metrics().crit_path_frac, 1.0 + 1e-9);
+    }
+    res = c.write_trace_bundle(dir);
+    sink.close();
+  }
+
+  EXPECT_EQ(res.localities, 4u);
+  EXPECT_GT(res.flows, 0u);
+  ASSERT_EQ(res.offsets_ns.size(), 4u);
+  EXPECT_EQ(res.offsets_ns[0], 0);
+  for (std::size_t k = 1; k < 4; ++k) {
+    // Configured skew is +2 ms per locality index; the estimate must undo
+    // it to within the observed network delays (well under 1 ms here).
+    EXPECT_NEAR(static_cast<double>(res.offsets_ns[k]),
+                static_cast<double>(-2'000'000) * static_cast<double>(k),
+                1'000'000.0)
+        << "locality " << k;
+  }
+
+  // Per-locality files plus the merged one exist; the merged trace is
+  // causally ordered across localities.
+  for (int k = 0; k < 4; ++k)
+    EXPECT_TRUE(fs::exists(dir + "/trace.loc" + std::to_string(k) + ".json"));
+  const auto t = apex::load_chrome_trace(dir + "/trace.merged.json");
+  EXPECT_EQ(t.unmatched_flows, 0u);
+  EXPECT_EQ(t.flows.size(), res.flows);
+  std::size_t cross = 0;
+  for (const auto& f : t.flows) {
+    EXPECT_GE(f.recv_ts_us, f.send_ts_us) << "flow " << f.id;
+    if (f.src_pid != f.dst_pid) ++cross;
+  }
+  EXPECT_GT(cross, 0u);  // genuinely cross-locality traffic was aligned
+  EXPECT_FALSE(t.spans.empty());  // locality 0 carries the span timelines
+
+  // Analyzer round trip on the bundle's own outputs.
+  std::ostringstream report;
+  apex::print_trace_report(report, t, 5);
+  EXPECT_NE(report.str().find("flows"), std::string::npos);
+  const auto steps = apex::load_metrics_jsonl(metrics_path);
+  ASSERT_EQ(steps.size(), 2u);
+  for (const auto& s : steps) {
+    EXPECT_GT(s.crit_path_us, 0);
+    EXPECT_LE(s.crit_path_us, max_step_seconds * 1e6);
+  }
+  // Self-diff finds no regressions at any threshold.
+  EXPECT_TRUE(apex::baseline_diff(steps, steps, 1.0).empty());
+
+  // The cluster report aggregated per-locality traffic and counters.
+  std::ifstream rep(dir + "/cluster_report.txt");
+  ASSERT_TRUE(rep.good());
+  std::ostringstream repss;
+  repss << rep.rdbuf();
+  EXPECT_NE(repss.str().find("locality"), std::string::npos);
+  EXPECT_NE(repss.str().find("offset"), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+/// \file octo_analyze.cpp
+/// Offline analyzer over the observability artifacts the runtime emits:
+///
+///   octo_analyze trace.merged.json            # span/flow/utilization report
+///   octo_analyze metrics.jsonl                # per-step metrics summary
+///   octo_analyze --baseline old.jsonl new.jsonl --threshold 10
+///                                             # flag per-step regressions
+///
+/// Files are classified by extension (.jsonl = metrics, anything else =
+/// Chrome trace) or forced with --trace / --metrics.  All of the real work
+/// lives in apex/analyze.hpp so the test suite drives the same code paths.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apex/analyze.hpp"
+#include "common/error.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: octo_analyze [options] <file>...\n"
+        "  <file>                .jsonl = per-step metrics, else Chrome trace\n"
+        "  --trace FILE          force FILE to be read as a Chrome trace\n"
+        "  --metrics FILE        force FILE to be read as metrics JSONL\n"
+        "  --baseline FILE       metrics JSONL to diff the current metrics "
+        "against\n"
+        "  --top N               slowest task instances to list (default 10)\n"
+        "  --threshold PCT       regression threshold in percent (default "
+        "5)\n";
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> trace_files, metrics_files;
+  std::string baseline_file;
+  std::size_t top_k = 10;
+  double threshold_pct = 5;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "octo_analyze: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--trace") {
+      trace_files.push_back(next());
+    } else if (arg == "--metrics") {
+      metrics_files.push_back(next());
+    } else if (arg == "--baseline") {
+      baseline_file = next();
+    } else if (arg == "--top") {
+      top_k = static_cast<std::size_t>(std::strtoul(next().c_str(),
+                                                    nullptr, 10));
+    } else if (arg == "--threshold") {
+      threshold_pct = std::strtod(next().c_str(), nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "octo_analyze: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else if (ends_with(arg, ".jsonl")) {
+      metrics_files.push_back(arg);
+    } else {
+      trace_files.push_back(arg);
+    }
+  }
+  if (trace_files.empty() && metrics_files.empty()) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    for (const auto& f : trace_files) {
+      std::cout << "== trace: " << f << " ==\n";
+      const auto t = octo::apex::load_chrome_trace(f);
+      octo::apex::print_trace_report(std::cout, t, top_k);
+    }
+    for (const auto& f : metrics_files) {
+      std::cout << "== metrics: " << f << " ==\n";
+      const auto steps = octo::apex::load_metrics_jsonl(f);
+      octo::apex::print_metrics_report(std::cout, steps);
+      if (!baseline_file.empty()) {
+        const auto base = octo::apex::load_metrics_jsonl(baseline_file);
+        const auto regs =
+            octo::apex::baseline_diff(base, steps, threshold_pct);
+        octo::apex::print_baseline_diff(std::cout, regs, threshold_pct);
+        if (!regs.empty()) return 1;  // regressions found: nonzero exit
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "octo_analyze: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
