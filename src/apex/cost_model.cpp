@@ -1,0 +1,64 @@
+#include "apex/cost_model.hpp"
+
+#include <chrono>
+
+#include "apex/apex.hpp"
+
+namespace octo::apex {
+
+namespace {
+
+struct lb_counters {
+  metric_id cost_steps = registry::instance().counter("lb.cost_steps");
+};
+lb_counters& counters() {
+  static lb_counters c;
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t cost_scope::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void leaf_cost_model::reset(std::size_t n_leaves, double alpha) {
+  n_ = n_leaves;
+  alpha_ = alpha < 0 ? 0 : (alpha > 1 ? 1 : alpha);
+  steps_ = 0;
+  step_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    step_ns_[i].store(0, std::memory_order_relaxed);
+  ewma_.assign(n_, 0.0);
+}
+
+void leaf_cost_model::begin_step() {
+  for (std::size_t i = 0; i < n_; ++i)
+    step_ns_[i].store(0, std::memory_order_relaxed);
+}
+
+void leaf_cost_model::end_step() {
+  if (n_ == 0) return;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto ns = static_cast<double>(
+        step_ns_[i].load(std::memory_order_relaxed));
+    // First observation seeds the average; later ones fold in with weight
+    // alpha, so a migration-induced cost shift is tracked within a few
+    // steps without a single noisy step repartitioning the cluster.
+    ewma_[i] = steps_ == 0 ? ns : alpha_ * ns + (1 - alpha_) * ewma_[i];
+  }
+  ++steps_;
+  registry::instance().add(counters().cost_steps);
+}
+
+std::vector<real> leaf_cost_model::costs() const {
+  std::vector<real> c(n_, real(1));
+  for (std::size_t i = 0; i < n_; ++i)
+    if (ewma_[i] > 0) c[i] = static_cast<real>(ewma_[i]);
+  return c;
+}
+
+}  // namespace octo::apex

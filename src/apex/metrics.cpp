@@ -30,10 +30,12 @@ void metrics_sink::emit(const step_record& rec) {
               "hydro_seconds,subgrids,cells,cells_per_sec,"
               "transport_retries,transport_timeouts,transport_dups_dropped,"
               "localities_lost,leaves_migrated,idle_fraction,"
-              "crit_path_us,crit_path_frac,imbalance\n";
+              "crit_path_us,crit_path_frac,imbalance,"
+              "rebalance_count,max_over_mean\n";
     std::snprintf(line, sizeof line,
                   "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%llu,%.9g,"
-                  "%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g\n",
+                  "%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,"
+                  "%llu,%.9g\n",
                   rec.step, rec.time, rec.dt, rec.step_seconds,
                   rec.exchange_seconds, rec.gravity_seconds,
                   rec.hydro_seconds,
@@ -46,7 +48,9 @@ void metrics_sink::emit(const step_record& rec) {
                   static_cast<unsigned long long>(rec.localities_lost),
                   static_cast<unsigned long long>(rec.leaves_migrated),
                   rec.idle_fraction, rec.crit_path_us, rec.crit_path_frac,
-                  rec.imbalance);
+                  rec.imbalance,
+                  static_cast<unsigned long long>(rec.rebalance_count),
+                  rec.max_over_mean);
   } else {
     std::snprintf(
         line, sizeof line,
@@ -57,7 +61,8 @@ void metrics_sink::emit(const step_record& rec) {
         "\"transport_timeouts\":%llu,\"transport_dups_dropped\":%llu,"
         "\"localities_lost\":%llu,\"leaves_migrated\":%llu,"
         "\"idle_fraction\":%.9g,\"crit_path_us\":%.9g,"
-        "\"crit_path_frac\":%.9g,\"imbalance\":%.9g}\n",
+        "\"crit_path_frac\":%.9g,\"imbalance\":%.9g,"
+        "\"rebalance_count\":%llu,\"max_over_mean\":%.9g}\n",
         rec.step, rec.time, rec.dt, rec.step_seconds, rec.exchange_seconds,
         rec.gravity_seconds, rec.hydro_seconds,
         static_cast<unsigned long long>(rec.subgrids),
@@ -68,7 +73,8 @@ void metrics_sink::emit(const step_record& rec) {
         static_cast<unsigned long long>(rec.localities_lost),
         static_cast<unsigned long long>(rec.leaves_migrated),
         rec.idle_fraction, rec.crit_path_us, rec.crit_path_frac,
-        rec.imbalance);
+        rec.imbalance, static_cast<unsigned long long>(rec.rebalance_count),
+        rec.max_over_mean);
   }
   out_ << line;
   out_.flush();  // steps are seconds-scale; make records crash-durable

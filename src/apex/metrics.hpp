@@ -47,6 +47,10 @@ struct step_record {
   double crit_path_us = 0;   ///< longest duration-weighted task chain
   double crit_path_frac = 0; ///< crit path / graph makespan (1 = chain-bound)
   double imbalance = 0;      ///< (max-mean)/max worker busy time
+  /// Measured-cost dynamic load rebalancing (dist/rebalance.cpp).
+  std::uint64_t rebalance_count = 0;  ///< rebalances applied so far (cumulative)
+  double max_over_mean = 0;  ///< measured per-locality cost imbalance
+                             ///< (tree::cost_max_over_mean; 0 = unmeasured)
 
   /// Fill cells_per_sec from cells and step_seconds.
   void finalize() {

@@ -57,6 +57,8 @@ void simulation::initialize() {
     leaves_by_level_[static_cast<std::size_t>(topo_->node(l).level)]
         .push_back(l);
 
+  cost_model_.reset(opt_.measure_leaf_costs ? leaves.size() : 0);
+
   // One-time scenario preparation (e.g. the SCF solve) runs on this
   // thread, outside the task pool (see scenario::prepare).
   if (scenario_.prepare) scenario_.prepare();
@@ -208,6 +210,8 @@ void simulation::hydro_stage(real dt, real ca, real cb) {
     futs.push_back(amt::async(
         [this, l, dt, ca, cb] {
           const apex::scoped_trace_span span("app.hydro.leaf");
+          const apex::cost_scope cost(
+              cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
           static thread_local hydro::workspace ws;
           static thread_local std::vector<real> dudt;
           dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -343,6 +347,8 @@ void simulation::step_graph(real dt) {
       H[li] = track(amt::dataflow(
           "hydro-RK", [this, l, dt, ca, cb] {
             const apex::scoped_trace_span span("app.hydro.leaf");
+            const apex::cost_scope cost(
+                cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
             static thread_local hydro::workspace ws;
             static thread_local std::vector<real> dudt;
             dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -538,6 +544,7 @@ real simulation::step() {
                                                ? "app.step.dataflow"
                                                : "app.step");
   apex::registry::instance().add(timers().steps_counter);
+  if (cost_model_.active()) cost_model_.begin_step();
   const real dt = dt_;
   const stopwatch step_watch;
   phase_exchange_s_ = phase_gravity_s_ = phase_hydro_s_ = 0;
@@ -576,6 +583,7 @@ real simulation::step() {
 
   time_ += dt;
   ++steps_;
+  if (cost_model_.active()) cost_model_.end_step();
 
   // Structured per-step observability record (the paper's headline
   // "processed sub-grid cells per second" plus the per-phase breakdown;
@@ -730,6 +738,9 @@ bool simulation::regrid() {
   for (const index_t l : leaves)
     leaves_by_level_[static_cast<std::size_t>(topo_->node(l).level)]
         .push_back(l);
+
+  // Leaf slots changed identity: measured history no longer lines up.
+  cost_model_.reset(opt_.measure_leaf_costs ? leaves.size() : 0);
 
   exchange_ghosts();
   if (opt_.self_gravity) solve_gravity();

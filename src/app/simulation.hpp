@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "apex/cost_model.hpp"
 #include "apex/metrics.hpp"
 #include "common/types.hpp"
 #include "exec/execution_space.hpp"
@@ -54,6 +55,11 @@ struct sim_options {
   real rho_refine = real(1e-3);
   /// Step execution mode (see step_mode; default honors OCTO_STEP_MODE).
   step_mode mode = default_step_mode();
+  /// Measure per-leaf hydro wall time into a leaf_cost_model (EWMA across
+  /// steps) — the single-locality view of the cost signal dist::cluster's
+  /// dynamic rebalancing partitions on.  Off: the per-task overhead is one
+  /// null-pointer branch.
+  bool measure_leaf_costs = false;
 };
 
 /// Global conserved quantities, including gravitational energy.
@@ -120,7 +126,14 @@ class simulation {
   /// steps_taken() > 0), whether or not a sink is attached.
   const apex::step_record& last_step_metrics() const { return last_metrics_; }
 
+  /// Per-leaf measured-cost EWMA (active when options().measure_leaf_costs;
+  /// slots follow topo().leaves() order and reset on regrid()).
+  const apex::leaf_cost_model& cost_model() const { return cost_model_; }
+
  private:
+  apex::leaf_cost_model* cost_model_ptr() {
+    return cost_model_.active() ? &cost_model_ : nullptr;
+  }
   void exchange_ghosts();
   void solve_gravity();
   void hydro_stage(real dt, real ca, real cb);
@@ -150,6 +163,7 @@ class simulation {
 
   apex::metrics_sink* metrics_ = nullptr;
   apex::step_record last_metrics_{};
+  apex::leaf_cost_model cost_model_;
   /// Wall seconds per phase, accumulated across the current step's RK
   /// stages and zeroed at step() entry.
   double phase_exchange_s_ = 0;

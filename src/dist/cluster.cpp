@@ -132,7 +132,13 @@ void cluster::write_cluster_report(std::ostream& os) const {
 void cluster::initialize() {
   topo_ = std::make_unique<tree::topology>(
       scenario_.domain_half, opt_.sim.max_level, scenario_.refine);
-  part_ = tree::partition_sfc(*topo_, opt_.num_localities);
+  // Seed the first partition with the static cost estimate (cells x depth)
+  // rather than an empty cost vector: uniform-cost splits hand the refined
+  // region's concentrated work to whichever locality the Morton curve
+  // visits last, and until the first rebalance that misjudgment is the
+  // whole run's balance.
+  part_ = tree::partition_sfc(*topo_, opt_.num_localities,
+                              tree::static_leaf_costs(*topo_));
   grav_ = std::make_unique<gravity::fmm_solver>(*topo_, opt_.sim.gravity);
   opt_.sim.hydro.omega = scenario_.omega;
 
@@ -160,10 +166,16 @@ void cluster::initialize() {
 
   locality_alive_.assign(static_cast<std::size_t>(opt_.num_localities), 1);
   monitor_.reset(opt_.num_localities);
+  cost_model_.reset(opt_.lb.measuring() ? leaves.size() : 0,
+                    opt_.lb.ewma_alpha);
+  rebalance_count_ = 0;
+  rebalances_skipped_ = 0;
   rebuild_channels();
   pending_localities_lost_ = 0;
   pending_leaves_migrated_ = 0;
-  last_transport_stats_ = transport_stats{};
+  // The transport survives re-initialize() (only its epoch advances), so
+  // baseline the per-step deltas on its current cumulative counters.
+  last_transport_stats_ = transport_statistics();
 
   if (scenario_.prepare) scenario_.prepare();
   {
@@ -194,14 +206,26 @@ void cluster::rebuild_channels() {
   // delayed in-flight frames deliver into a closed channel and drop.
   for (auto& ch : channels_)
     if (ch) ch->close();
-  const std::size_t n = topo_->leaves().size() * NNEIGHBOR;
+  const std::size_t nleaves = topo_->leaves().size();
+  const std::size_t n = nleaves * NNEIGHBOR;
   channels_.clear();
   channels_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     channels_.push_back(std::make_shared<amt::channel<boundary_msg>>());
-  if (opt_.reliable_transport)
-    transport_ = std::make_unique<transport>(
-        static_cast<int>(n), opt_.transport, space_.runtime());
+  if (opt_.reliable_transport) {
+    // One extra link per leaf slot past the boundary range carries that
+    // leaf's migration payload during a rebalance.
+    if (!transport_)
+      transport_ = std::make_unique<transport>(
+          static_cast<int>(n + nleaves), opt_.transport, space_.runtime());
+    else
+      // Keep the transport (and its monotonic statistics — recreating it
+      // here made the per-step stats deltas wrap after a rebuild) and open
+      // a fresh link generation instead: sequence numbers restart at 0 and
+      // any delayed pre-rebuild frame is dropped by its stale epoch rather
+      // than colliding with the new generation's seq 0.
+      transport_->advance_epoch();
+  }
 }
 
 transport_stats cluster::transport_statistics() const {
@@ -330,6 +354,8 @@ void cluster::exchange_ghosts() {
       send_futs.push_back(amt::async(
           [this, l, &ld, &ls, &rm, &by] {
             const apex::scoped_trace_span span("dist.exchange.send");
+            const apex::cost_scope cost(
+                cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(l, d);
               if (nb == tree::invalid_node || !topo_->node(nb).leaf)
@@ -397,6 +423,8 @@ void cluster::exchange_ghosts() {
         recv_futs.push_back(ch.receive().then(
             [this, l, d](boundary_msg msg) {
               const apex::scoped_trace_span span("dist.exchange.unpack");
+              const apex::cost_scope cost(
+                  cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
               if (msg.direct) {
                 grids_[l].copy_ghost_direct(d, *msg.src);
               } else {
@@ -476,8 +504,11 @@ void cluster::exchange_ghosts() {
 }
 
 void cluster::solve_gravity() {
-  for (const index_t l : topo_->leaves())
+  for (const index_t l : topo_->leaves()) {
+    const apex::cost_scope cost(cost_model_ptr(),
+                                static_cast<std::size_t>(leaf_slot_[l]));
     grav_->set_leaf_from_subgrid(l, grids_[l]);
+  }
   grav_->solve(space_);
 }
 
@@ -497,6 +528,8 @@ void cluster::hydro_stage(real dt, real ca, real cb) {
   for (const index_t l : topo_->leaves()) {
     futs.push_back(amt::async(
         [this, l, dt, ca, cb] {
+          const apex::cost_scope cost(
+              cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
           static thread_local hydro::workspace ws;
           static thread_local std::vector<real> dudt;
           dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -540,7 +573,18 @@ void cluster::detect_locality_failures() {
     if (locality_alive_[static_cast<std::size_t>(loc)] &&
         inj.locality_alive(loc))
       monitor_.beat(loc);
-  const auto dead = monitor_.overdue(opt_.heartbeat_deadline_ms);
+  auto dead = monitor_.overdue(opt_.heartbeat_deadline_ms);
+  if (dead.empty() && monitor_.window_suspended()) {
+    // A suspended window (post-rebalance/recovery quiescence) skips the
+    // deadline so a slow survivor is not misdeclared — but a locality
+    // whose *connections* are already refused is known dead, not slow;
+    // letting the step proceed would fail mid-exchange with a
+    // transport_error the recovery driver cannot attribute.
+    for (int loc = 0; loc < opt_.num_localities; ++loc)
+      if (locality_alive_[static_cast<std::size_t>(loc)] &&
+          !inj.locality_alive(loc))
+        dead.push_back(loc);
+  }
   if (!dead.empty()) throw locality_failure(dead);
 }
 
@@ -688,6 +732,8 @@ void cluster::step_graph(real dt) {
       H[li] = track(amt::dataflow(
           "hydro-RK", [this, l, dt, ca, cb] {
             const apex::scoped_trace_span span("dist.hydro.leaf");
+            const apex::cost_scope cost(
+                cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
             static thread_local hydro::workspace ws;
             static thread_local std::vector<real> dudt;
             dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -796,6 +842,8 @@ void cluster::step_graph(real dt) {
       SEND[li] = track(amt::dataflow(
           "send", [this, l, counts] {
             const apex::scoped_trace_span span("dist.exchange.send");
+            const apex::cost_scope cost(
+                cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(l, d);
               if (nb == tree::invalid_node || !topo_->node(nb).leaf)
@@ -875,6 +923,8 @@ void cluster::step_graph(real dt) {
         UNP[link] = track(amt::dataflow(
             "unpack", [this, l, d, slots, link] {
               const apex::scoped_trace_span span("dist.exchange.unpack");
+              const apex::cost_scope cost(
+                  cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
               boundary_msg msg = std::move((*slots)[link]);
               if (msg.direct) {
                 grids_[l].copy_ghost_direct(d, *msg.src);
@@ -941,7 +991,11 @@ void cluster::step_graph(real dt) {
         deps.push_back(H[li]);
         if (have_gprev) deps.push_back(gprev.mom_free[li]);
         D[li] = track(amt::dataflow(
-            "set-density", [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
+            "set-density", [this, l] {
+              const apex::cost_scope cost(
+                  cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
+              grav_->set_leaf_from_subgrid(l, grids_[l]);
+            },
             std::move(deps), rt));
         mom_ready[li] = D[li];
       }
@@ -1046,6 +1100,7 @@ real cluster::step() {
   // failure the heartbeat round missed).
   fault::injector::instance().maybe_fail_step();
   detect_locality_failures();
+  if (cost_model_.active()) cost_model_.begin_step();
   const real dt = dt_;
   double exchange_s = 0, gravity_s = 0, hydro_s = 0;
   const amt::runtime_stats rt_stats0 = space_.runtime().stats();
@@ -1084,7 +1139,14 @@ real cluster::step() {
 
   time_ += dt;
   ++steps_;
-  update_replicas();
+  if (cost_model_.active()) cost_model_.end_step();
+  // Rebalance check rides the step boundary (every K steps): the measured
+  // EWMA is fresh, no exchange is in flight, and maybe_rebalance() leaves
+  // the cluster exactly where a completed step does (replicas included).
+  bool rebalanced = false;
+  if (opt_.lb.every > 0 && steps_ % opt_.lb.every == 0)
+    rebalanced = maybe_rebalance();
+  if (!rebalanced) update_replicas();
 
   // Per-step observability: transport counters are emitted as this-step
   // deltas so retries/timeouts line up with cells/second; recovery totals
@@ -1122,9 +1184,15 @@ real cluster::step() {
     rec.crit_path_frac = crit.crit_path_frac();
     rec.imbalance = crit.imbalance;
   }
+  rec.rebalance_count = rebalance_count_;
+  if (cost_model_.active() && cost_model_.steps_observed() > 0)
+    rec.max_over_mean = static_cast<double>(
+        tree::cost_max_over_mean(*topo_, part_, cost_model_.costs()));
   rec.finalize();
   last_metrics_ = rec;
   if (metrics_ != nullptr) metrics_->emit(rec);
+  // Feed the adaptive heartbeat deadline with this step's wall time.
+  monitor_.observe_step_ms(rec.step_seconds * 1e3);
 
   // Refine the clock-offset estimate with this step's fresh flow samples:
   // the per-link minima only sharpen as more slabs transit.

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "amt/channel.hpp"
+#include "apex/cost_model.hpp"
 #include "apex/metrics.hpp"
 #include "app/simulation.hpp"
 #include "dist/recovery.hpp"
@@ -51,6 +52,23 @@
 #include "tree/partition.hpp"
 
 namespace octo::dist {
+
+/// Measured-cost dynamic load rebalancing (dist/rebalance.cpp).
+struct lb_options {
+  /// Consider a rebalance every this many steps; 0 = never (measurement
+  /// can still be on via `measure`).
+  int every = 0;
+  /// Measure per-leaf costs without ever rebalancing (ablation baseline:
+  /// the same max_over_mean series, no migrations).
+  bool measure = false;
+  /// Hysteresis: apply a candidate partition only when the current
+  /// measured max/mean exceeds the projected one by this factor.
+  double min_gain = 1.05;
+  /// EWMA weight of the newest step in the per-leaf cost model.
+  double ewma_alpha = 0.3;
+
+  bool measuring() const { return measure || every > 0; }
+};
 
 struct dist_options {
   int num_localities = 2;
@@ -67,6 +85,8 @@ struct dist_options {
   /// Keep an in-memory buddy replica of every leaf's state on the next
   /// surviving locality along the SFC — the online recovery source.
   bool buddy_replication = true;
+  /// Measured-cost dynamic load rebalancing with live leaf migration.
+  lb_options lb{};
   app::sim_options sim{};
 };
 
@@ -107,6 +127,29 @@ class cluster {
   /// recovery source exists.
   void recover_locality_failure(const std::vector<int>& dead,
                                 const std::string& ckpt_dir = {});
+
+  /// Measured-cost rebalance attempt (implemented in rebalance.cpp):
+  /// recompute the SFC partition over the live localities from the cost
+  /// model's EWMA, and — only when the measured max/mean imbalance exceeds
+  /// the projection by `lb.min_gain` — live-migrate every leaf whose owner
+  /// changes (checkpoint-format pack, reliable transport, unpack), rebuild
+  /// channels on a fresh transport epoch, and re-derive ghosts/gravity/dt
+  /// exactly as recovery does.  Returns true when a rebalance was applied.
+  /// Physics-transparent: the continued run is bitwise identical to one
+  /// that never rebalanced.  No-op without measurements.
+  bool maybe_rebalance();
+
+  /// Rebalances applied so far (the step_record's `rebalance_count`).
+  std::uint64_t rebalance_count() const { return rebalance_count_; }
+  /// Candidate partitions evaluated but skipped by hysteresis.
+  std::uint64_t rebalances_skipped() const { return rebalances_skipped_; }
+
+  /// Per-leaf costs the partitioner should balance right now: the cost
+  /// model's measured EWMA once any step has been observed, the static
+  /// estimate (tree::static_leaf_costs) before that.
+  std::vector<real> current_leaf_costs() const;
+
+  const apex::leaf_cost_model& cost_model() const { return cost_model_; }
 
   const tree::topology& topo() const { return *topo_; }
   const tree::partition_result& partition() const { return part_; }
@@ -188,6 +231,17 @@ class cluster {
   void update_replicas();
   /// Next surviving locality after \p loc on the locality ring.
   int buddy_of(int loc) const;
+  /// Cost-model handle for cost_scope call sites: null (one branch, no
+  /// clock read) unless lb measurement is on.
+  apex::leaf_cost_model* cost_model_ptr() {
+    return cost_model_.active() ? &cost_model_ : nullptr;
+  }
+  /// Transport link carrying leaf slot \p s's migration payload (the range
+  /// past the nleaves x 26 boundary links).
+  int migration_link(index_t slot) const {
+    return static_cast<int>(topo_->leaves().size()) * NNEIGHBOR +
+           static_cast<int>(slot);
+  }
 
   scen::scenario scenario_;
   dist_options opt_;
@@ -218,6 +272,11 @@ class cluster {
   std::uint64_t pending_localities_lost_ = 0;
   std::uint64_t pending_leaves_migrated_ = 0;
   transport_stats last_transport_stats_{};
+
+  /// Dynamic load rebalancing state (dist/rebalance.cpp).
+  apex::leaf_cost_model cost_model_;
+  std::uint64_t rebalance_count_ = 0;
+  std::uint64_t rebalances_skipped_ = 0;
 
   apex::metrics_sink* metrics_ = nullptr;
   apex::step_record last_metrics_{};

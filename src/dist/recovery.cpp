@@ -1,5 +1,6 @@
 #include "dist/recovery.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -44,11 +45,40 @@ void heartbeat_monitor::reset(int num_localities) {
   epoch_ = 0;
   beat_epoch_.assign(static_cast<std::size_t>(num_localities), 0);
   alive_.assign(static_cast<std::size_t>(num_localities), true);
+  ewma_step_ms_ = 0;
+  suspend_pending_ = false;
+  window_suspended_ = false;
 }
 
 void heartbeat_monitor::arm_step() {
   const std::lock_guard<std::mutex> lock(m_);
   ++epoch_;
+  window_suspended_ = suspend_pending_;
+  suspend_pending_ = false;
+}
+
+void heartbeat_monitor::observe_step_ms(double step_ms) {
+  if (!(step_ms > 0)) return;
+  const std::lock_guard<std::mutex> lock(m_);
+  constexpr double alpha = 0.3;
+  ewma_step_ms_ = ewma_step_ms_ == 0
+                      ? step_ms
+                      : alpha * step_ms + (1 - alpha) * ewma_step_ms_;
+}
+
+void heartbeat_monitor::suspend_next_window() {
+  const std::lock_guard<std::mutex> lock(m_);
+  suspend_pending_ = true;
+}
+
+double heartbeat_monitor::ewma_step_ms() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return ewma_step_ms_;
+}
+
+bool heartbeat_monitor::window_suspended() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return window_suspended_;
 }
 
 void heartbeat_monitor::beat(int loc) {
@@ -80,10 +110,18 @@ std::vector<int> heartbeat_monitor::silent_unlocked() const {
 
 std::vector<int> heartbeat_monitor::overdue(double deadline_ms) const {
   using clock = std::chrono::steady_clock;
+  double effective_ms = deadline_ms;
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    // A deliberately quiescent window (rebalance/recovery in progress)
+    // declares nobody dead, whatever the beats say.
+    if (window_suspended_) return {};
+    effective_ms = std::max(deadline_ms, deadline_scale * ewma_step_ms_);
+  }
   const auto deadline =
       clock::now() + std::chrono::duration_cast<clock::duration>(
                          std::chrono::duration<double, std::milli>(
-                             deadline_ms));
+                             effective_ms));
   for (;;) {
     {
       const std::lock_guard<std::mutex> lock(m_);
@@ -127,7 +165,11 @@ void cluster::recover_locality_failure(const std::vector<int>& dead,
     for (const index_t l :
          part_.leaves_of_locality[static_cast<std::size_t>(d)])
       lost.push_back(l);
-  part_ = tree::partition_shrink(*topo_, part_, dead_all);
+  // Shrink over the same cost model the rebalancer uses: measured per-leaf
+  // costs once any step has been observed, the static estimate before that
+  // (an empty cost vector here silently degraded to equal-count splits).
+  part_ = tree::partition_shrink(*topo_, part_, dead_all,
+                                 current_leaf_costs());
 
   // 3. Fresh channels and a fresh transport epoch: no surviving exchange
   // state may reference the dead localities' links.
@@ -181,6 +223,9 @@ void cluster::recover_locality_failure(const std::vector<int>& dead,
   }
 
   // 5. Re-seed replicas over the survivor set and account the recovery.
+  // The next step legitimately runs long (rebuilt channels, re-derived
+  // ghosts/gravity), so don't let its heartbeat window kill a survivor.
+  monitor_.suspend_next_window();
   update_replicas();
   auto& reg = apex::registry::instance();
   reg.add(counters().localities_lost, dead.size());

@@ -56,12 +56,23 @@ class locality_failure : public error {
 
 /// Per-step liveness tracking: arm a window, collect beats, wait for
 /// stragglers up to a deadline.  Thread-safe.
+///
+/// The deadline adapts: a fixed per-step budget misdeclares a locality
+/// dead whenever a step is legitimately slow (the first step after a
+/// migration re-derives ghosts and gravity; TSan builds run 10-20x
+/// slower), so `observe_step_ms` keeps an EWMA of recent step times and
+/// `overdue` enforces max(base deadline, deadline_scale x EWMA).  A
+/// rebalance or recovery additionally calls `suspend_next_window()`:
+/// beats are still recorded, but the next window declares nobody dead —
+/// the cluster was deliberately quiescent, not failing.
 class heartbeat_monitor {
  public:
-  /// Start tracking \p num_localities, all alive, no beats recorded.
+  /// Start tracking \p num_localities, all alive, no beats recorded, no
+  /// step-time history.
   void reset(int num_localities);
 
   /// Open a new heartbeat window (call at the top of every step).
+  /// Consumes a pending suspend_next_window().
   void arm_step();
 
   /// Record locality \p loc's beat for the current window.
@@ -72,10 +83,25 @@ class heartbeat_monitor {
 
   int num_live() const;
 
+  /// Fold one completed step's wall time into the deadline EWMA.
+  void observe_step_ms(double step_ms);
+
+  /// Skip deadline enforcement for the next armed window (call when a
+  /// rebalance/recovery makes the next step legitimately slow or silent).
+  void suspend_next_window();
+
+  double ewma_step_ms() const;
+  bool window_suspended() const;
+
   /// Wait (sleeping in short slices) until every live locality has beaten
-  /// in the current window or \p deadline_ms expires; returns the
-  /// localities still silent — dead by deadline.
+  /// in the current window or the effective deadline —
+  /// max(\p deadline_ms, deadline_scale x step-time EWMA) — expires;
+  /// returns the localities still silent: dead by deadline.  A suspended
+  /// window returns empty immediately.
   std::vector<int> overdue(double deadline_ms) const;
+
+  /// Multiplier on the step-time EWMA in the effective deadline.
+  static constexpr double deadline_scale = 4.0;
 
  private:
   std::vector<int> silent_unlocked() const;
@@ -84,6 +110,9 @@ class heartbeat_monitor {
   std::uint64_t epoch_ = 0;
   std::vector<std::uint64_t> beat_epoch_;
   std::vector<bool> alive_;
+  double ewma_step_ms_ = 0;
+  bool suspend_pending_ = false;
+  bool window_suspended_ = false;
 };
 
 struct recovery_options {

@@ -29,6 +29,8 @@ struct transport_counters {
   apex::metric_id dups =
       apex::registry::instance().counter("transport.dups_dropped");
   apex::metric_id acks = apex::registry::instance().counter("transport.acks");
+  apex::metric_id epoch_dropped =
+      apex::registry::instance().counter("transport.epoch_dropped");
 };
 transport_counters& counters() {
   static transport_counters c;
@@ -50,6 +52,7 @@ std::uint64_t splitmix64(std::uint64_t& s) {
 struct message {
   int link = 0;
   std::uint64_t seq = 0;
+  std::uint32_t epoch = 0;  ///< link generation the frame belongs to
   int src_loc = 0;
   int dst_loc = 0;
   std::uint64_t send_ts_ns = 0;  ///< sender's locality clock at send()
@@ -87,6 +90,10 @@ struct transport::state {
   std::mutex reorder_m;
   std::optional<message_ptr> stashed;
 
+  /// Current link generation; bumped by advance_epoch() on every channel
+  /// rebuild.  Frames stamped with an older value are dropped on receive.
+  std::atomic<std::uint32_t> epoch{0};
+
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> timeouts{0};
@@ -94,6 +101,7 @@ struct transport::state {
   std::atomic<std::uint64_t> acks{0};
   std::atomic<std::uint64_t> frames_sent{0};
   std::atomic<std::uint64_t> header_bytes{0};
+  std::atomic<std::uint64_t> epoch_dropped{0};
   std::atomic<std::uint64_t> rng{0x72640C70ull};
 
   double jitter_factor() {
@@ -178,6 +186,17 @@ void transmit(const std::shared_ptr<transport::state>& st,
 
 void on_frame(const std::shared_ptr<transport::state>& st,
               const message_ptr& msg) {
+  // Stale generation: the link was rebuilt while this frame (or a delayed
+  // duplicate of it) was in transit.  Its sequence number is meaningless
+  // against the fresh window — seq 0 of the old generation would collide
+  // with seq 0 of the new one — so the frame is dropped, never delivered
+  // and never acknowledged (its sender, if any still waits, belongs to the
+  // old generation and must fail, not succeed against rebuilt state).
+  if (msg->epoch != st->epoch.load(std::memory_order_acquire)) {
+    st->epoch_dropped.fetch_add(1, std::memory_order_relaxed);
+    apex::registry::instance().add(counters().epoch_dropped);
+    return;
+  }
   auto& link = st->links[static_cast<std::size_t>(msg->link)];
   bool fresh = false;
   {
@@ -245,6 +264,7 @@ void transport::send(int link, int src_loc, int dst_loc,
   if (apex::flow_recorder::enabled())
     msg->send_ts_ns = apex::flow_recorder::instance().now_loc(
         static_cast<std::uint32_t>(src_loc));
+  msg->epoch = st->epoch.load(std::memory_order_acquire);
   {
     auto& ls = st->links[static_cast<std::size_t>(link)];
     const std::lock_guard<std::mutex> lock(ls.m);
@@ -289,6 +309,32 @@ void transport::send(int link, int src_loc, int dst_loc,
   }
 }
 
+void transport::advance_epoch() {
+  state_->epoch.fetch_add(1, std::memory_order_acq_rel);
+  // The epoch check already quarantines every in-flight frame of the old
+  // generation, so the per-link windows can restart clean: seq from 0, no
+  // dedup history to collide with.
+  for (auto& ls : state_->links) {
+    const std::lock_guard<std::mutex> lock(ls.m);
+    ls.next_seq = 0;
+    ls.delivered.clear();
+  }
+  // Drop a reorder-stashed frame too: releasing it into the new
+  // generation would be exactly the cross-epoch delivery this prevents.
+  {
+    const std::lock_guard<std::mutex> lock(state_->reorder_m);
+    if (state_->stashed) {
+      state_->stashed.reset();
+      state_->epoch_dropped.fetch_add(1, std::memory_order_relaxed);
+      apex::registry::instance().add(counters().epoch_dropped);
+    }
+  }
+}
+
+std::uint32_t transport::epoch() const {
+  return state_->epoch.load(std::memory_order_acquire);
+}
+
 transport_stats transport::stats() const {
   transport_stats s;
   s.messages = state_->messages.load(std::memory_order_relaxed);
@@ -298,6 +344,7 @@ transport_stats transport::stats() const {
   s.acks = state_->acks.load(std::memory_order_relaxed);
   s.frames_sent = state_->frames_sent.load(std::memory_order_relaxed);
   s.header_bytes = state_->header_bytes.load(std::memory_order_relaxed);
+  s.epoch_dropped = state_->epoch_dropped.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -19,7 +19,15 @@
 ///     or the destination locality is dead;
 ///   * duplicate suppression on the receive side: a late or duplicated
 ///     frame is acknowledged but never unpacked twice, so the ghost
-///     exchange stays idempotent and bitwise identical to a fault-free run.
+///     exchange stays idempotent and bitwise identical to a fault-free run;
+///   * a per-link *generation epoch* in the frame header: channel rebuilds
+///     (after a migration, a recovery, or a failed exchange) advance the
+///     epoch and reset every link's sequence numbers and dedup window.
+///     Link state keyed by (link) alone is not enough — a delayed
+///     pre-rebuild duplicate of (link, seq 0) would collide with the fresh
+///     generation's first slab on the same link, either masquerading as it
+///     or suppressing it.  Cross-epoch frames are dropped at the receiver
+///     (counted in `transport.epoch_dropped`), never delivered.
 ///
 /// The "network" consults common/fault.hpp on every transit —
 /// OCTO_FAULT_MSG_DROP / MSG_DELAY_US / MSG_DUP / MSG_REORDER — and
@@ -64,6 +72,7 @@ struct transport_stats {
   std::uint64_t acks = 0;          ///< acknowledgements received
   std::uint64_t frames_sent = 0;   ///< transmit attempts (incl. dup copies)
   std::uint64_t header_bytes = 0;  ///< seq/ack wire overhead, all attempts
+  std::uint64_t epoch_dropped = 0; ///< stale-generation frames discarded
 };
 
 class transport {
@@ -72,8 +81,9 @@ class transport {
   using deliver_fn = std::function<void(std::vector<std::uint8_t>)>;
 
   /// Per-frame wire overhead the reliability adds: seq (8) + link id (4) +
-  /// flags (4) on a data frame, seq (8) + link id (4) on an ack.
-  static constexpr std::size_t frame_header_bytes = 16;
+  /// flags (4) + generation epoch (4) on a data frame, seq (8) + link id
+  /// (4) on an ack.
+  static constexpr std::size_t frame_header_bytes = 20;
   static constexpr std::size_t ack_header_bytes = 12;
 
   /// \p num_links directed links; frames are delivered as tasks on \p rt.
@@ -92,6 +102,15 @@ class transport {
   /// task, no matter how many copies of the frame arrive.
   void send(int link, int src_loc, int dst_loc,
             std::vector<std::uint8_t> payload, deliver_fn deliver);
+
+  /// Open the next link generation (a channel rebuild): every link's
+  /// sequence numbering restarts at 0 with a cleared dedup window, and any
+  /// frame of an older generation still in flight is dropped at the
+  /// receiver instead of delivered or matched against the fresh window.
+  void advance_epoch();
+
+  /// Current generation (starts at 0; tests).
+  std::uint32_t epoch() const;
 
   transport_stats stats() const;
 

@@ -103,6 +103,41 @@ partition_result partition_shrink(const topology& topo,
   return part;
 }
 
+std::vector<real> static_leaf_costs(const topology& topo) {
+  std::vector<real> cost;
+  cost.reserve(static_cast<std::size_t>(topo.num_leaves()));
+  const real cells = real(SUBGRID_N) * SUBGRID_N * SUBGRID_N;
+  for (const index_t leaf : topo.leaves())
+    cost.push_back(cells * (1 + topo.node(leaf).level));
+  return cost;
+}
+
+std::vector<real> locality_costs(const topology& topo,
+                                 const partition_result& part,
+                                 const std::vector<real>& cost) {
+  const auto& leaves = topo.leaves();
+  OCTO_CHECK(cost.size() == leaves.size());
+  std::vector<real> sums(static_cast<std::size_t>(part.num_localities), 0);
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    sums[static_cast<std::size_t>(part.owner(leaves[i]))] += cost[i];
+  return sums;
+}
+
+real cost_max_over_mean(const topology& topo, const partition_result& part,
+                        const std::vector<real>& cost) {
+  const auto sums = locality_costs(topo, part, cost);
+  real mx = 0, total = 0;
+  int occupied = 0;
+  for (std::size_t l = 0; l < sums.size(); ++l) {
+    if (part.leaves_of_locality[l].empty()) continue;
+    mx = std::max(mx, sums[l]);
+    total += sums[l];
+    ++occupied;
+  }
+  if (occupied == 0 || total <= 0) return 0;
+  return mx / (total / occupied);
+}
+
 real remote_link_fraction(const topology& topo,
                           const partition_result& part) {
   index_t total = 0;

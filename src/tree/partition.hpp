@@ -54,4 +54,24 @@ partition_result partition_shrink(const topology& topo,
 /// optimization targets.
 real remote_link_fraction(const topology& topo, const partition_result& part);
 
+/// Static per-leaf cost estimate for a partition made before any
+/// measurements exist: the leaf's cell count weighted by its refinement
+/// depth (deeper leaves sit in the refined region where ancestors'
+/// restriction/prolongation and denser interaction lists concentrate).
+/// Aligned with topology.leaves().
+std::vector<real> static_leaf_costs(const topology& topo);
+
+/// Summed leaf cost per locality under \p part (indexed by locality id;
+/// cost aligned with topology.leaves()).
+std::vector<real> locality_costs(const topology& topo,
+                                 const partition_result& part,
+                                 const std::vector<real>& cost);
+
+/// max/mean per-locality summed cost, over localities that own at least
+/// one leaf: 1 = perfectly balanced, >1 = the slowest locality's overload
+/// factor (the quantity dynamic rebalancing minimizes).  0 on a degenerate
+/// input (no leaves).
+real cost_max_over_mean(const topology& topo, const partition_result& part,
+                        const std::vector<real>& cost);
+
 }  // namespace octo::tree

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -90,6 +91,94 @@ TEST(Metrics, CsvHeaderAndRows) {
   EXPECT_NE(lines[0].find("cells_per_sec"), std::string::npos);
   EXPECT_EQ(lines[1].front(), '1');
   std::remove(path.c_str());
+}
+
+// The metrics schema exists in three places: the CSV header string, the
+// JSONL keys, and the column table in EXPERIMENTS.md.  They drift
+// independently (a new step_record field lands in one and not the others),
+// so assert all three agree — exactly, including order for CSV vs JSONL.
+TEST(Metrics, SchemaMatchesCsvJsonlAndDocs) {
+  const std::string csv_path = "metrics_schema_test.csv";
+  const std::string jsonl_path = "metrics_schema_test.jsonl";
+  metrics_sink csv, jsonl;
+  ASSERT_TRUE(csv.open(csv_path));
+  ASSERT_TRUE(jsonl.open(jsonl_path));
+  step_record rec;
+  rec.step = 1;
+  csv.emit(rec);
+  jsonl.emit(rec);
+  csv.close();
+  jsonl.close();
+
+  // CSV header -> ordered column list.
+  const auto csv_lines = read_lines(csv_path);
+  ASSERT_GE(csv_lines.size(), 1u);
+  std::vector<std::string> csv_cols;
+  {
+    std::stringstream ss(csv_lines[0]);
+    std::string col;
+    while (std::getline(ss, col, ',')) csv_cols.push_back(col);
+  }
+  std::remove(csv_path.c_str());
+
+  // JSONL record -> ordered key list.
+  const auto jsonl_lines = read_lines(jsonl_path);
+  ASSERT_GE(jsonl_lines.size(), 1u);
+  std::vector<std::string> json_keys;
+  const std::string& rec_line = jsonl_lines[0];
+  for (std::size_t pos = rec_line.find('"'); pos != std::string::npos;) {
+    const std::size_t end = rec_line.find('"', pos + 1);
+    ASSERT_NE(end, std::string::npos);
+    json_keys.push_back(rec_line.substr(pos + 1, end - pos - 1));
+    // Skip to the next key (the one following the value's comma).
+    pos = rec_line.find(',', end);
+    if (pos == std::string::npos) break;
+    pos = rec_line.find('"', pos);
+  }
+  std::remove(jsonl_path.c_str());
+
+  EXPECT_EQ(json_keys, csv_cols)
+      << "CSV header and JSONL keys must list the same columns in the "
+         "same order";
+
+  // EXPERIMENTS.md column table -> documented column set.  Rows group
+  // related columns in one cell; every backticked token in the first cell
+  // is one documented column.
+  const std::string doc_path = std::string(OCTO_REPO_ROOT) +
+                               "/EXPERIMENTS.md";
+  std::ifstream doc(doc_path);
+  ASSERT_TRUE(doc.good()) << doc_path;
+  std::vector<std::string> doc_cols;
+  std::string line;
+  bool in_table = false;
+  while (std::getline(doc, line)) {
+    if (line.find("| column | meaning |") != std::string::npos) {
+      in_table = true;
+      continue;
+    }
+    if (!in_table) continue;
+    if (line.empty() || line[0] != '|') break;  // table ended
+    if (line.find("|---") == 0) continue;       // separator row
+    const std::size_t cell_end = line.find('|', 1);
+    ASSERT_NE(cell_end, std::string::npos) << line;
+    const std::string cell = line.substr(0, cell_end);
+    for (std::size_t pos = cell.find('`'); pos != std::string::npos;) {
+      const std::size_t end = cell.find('`', pos + 1);
+      ASSERT_NE(end, std::string::npos) << cell;
+      doc_cols.push_back(cell.substr(pos + 1, end - pos - 1));
+      pos = cell.find('`', end + 1);
+    }
+  }
+  ASSERT_TRUE(in_table) << "EXPERIMENTS.md column table not found";
+  EXPECT_EQ(doc_cols, csv_cols)
+      << "EXPERIMENTS.md's column table must document exactly the CSV "
+         "columns, in header order";
+
+  // The load-rebalancing columns this PR added are part of the contract.
+  EXPECT_NE(std::find(csv_cols.begin(), csv_cols.end(), "rebalance_count"),
+            csv_cols.end());
+  EXPECT_NE(std::find(csv_cols.begin(), csv_cols.end(), "max_over_mean"),
+            csv_cols.end());
 }
 
 // A tiny simulation must produce one record per step whose cell counts
