@@ -118,6 +118,15 @@ std::vector<step_record> load_metrics_jsonl(const std::string& path) {
     r.crit_path_us = v.number_or("crit_path_us", 0);
     r.crit_path_frac = v.number_or("crit_path_frac", 0);
     r.imbalance = v.number_or("imbalance", 0);
+    r.rebalance_count =
+        static_cast<std::uint64_t>(v.number_or("rebalance_count", 0));
+    r.max_over_mean = v.number_or("max_over_mean", 0);
+    r.sdc_audits = static_cast<std::uint64_t>(v.number_or("sdc_audits", 0));
+    r.sdc_detected =
+        static_cast<std::uint64_t>(v.number_or("sdc_detected", 0));
+    r.sdc_retries = static_cast<std::uint64_t>(v.number_or("sdc_retries", 0));
+    r.sdc_rollbacks =
+        static_cast<std::uint64_t>(v.number_or("sdc_rollbacks", 0));
     steps.push_back(r);
   }
   return steps;
@@ -180,6 +189,16 @@ std::vector<regression> baseline_diff(const std::vector<step_record>& base,
       if (pct > threshold_pct)
         regs.push_back({c.step, col.name, bv, cv, pct});
     }
+  }
+  // Detected silent data corruption is a regression no matter the
+  // threshold: a run whose final sdc_detected counter is nonzero must
+  // fail a baseline gate.  (The counters are cumulative, so the last
+  // record carries the run's total.)
+  if (!cur.empty() && cur.back().sdc_detected > 0) {
+    const double base_detected =
+        base.empty() ? 0 : static_cast<double>(base.back().sdc_detected);
+    regs.push_back({cur.back().step, "sdc_detected", base_detected,
+                    static_cast<double>(cur.back().sdc_detected), 0});
   }
   return regs;
 }
@@ -248,6 +267,16 @@ void print_metrics_report(std::ostream& os,
        << crit_frac / static_cast<double>(crit_steps)
        << ", mean imbalance: " << imb / static_cast<double>(crit_steps)
        << "\n";
+  // SDC counters are cumulative; the final record carries the run totals.
+  const step_record& last = steps.back();
+  if (last.sdc_audits > 0 || last.sdc_detected > 0) {
+    os << "  sdc: " << last.sdc_audits << " audits, " << last.sdc_detected
+       << " detected, " << last.sdc_retries << " retries, "
+       << last.sdc_rollbacks << " rollbacks";
+    if (last.sdc_detected > 0)
+      os << "  ** SILENT DATA CORRUPTION DETECTED **";
+    os << "\n";
+  }
 }
 
 void print_baseline_diff(std::ostream& os,

@@ -23,7 +23,7 @@ bool metrics_sink::open(const std::string& path) {
 void metrics_sink::emit(const step_record& rec) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!out_.is_open()) return;
-  char line[1024];
+  char line[1536];
   if (format_ == format::csv) {
     if (emitted_ == 0)
       out_ << "step,time,dt,step_seconds,exchange_seconds,gravity_seconds,"
@@ -31,11 +31,12 @@ void metrics_sink::emit(const step_record& rec) {
               "transport_retries,transport_timeouts,transport_dups_dropped,"
               "localities_lost,leaves_migrated,idle_fraction,"
               "crit_path_us,crit_path_frac,imbalance,"
-              "rebalance_count,max_over_mean\n";
+              "rebalance_count,max_over_mean,"
+              "sdc_audits,sdc_detected,sdc_retries,sdc_rollbacks\n";
     std::snprintf(line, sizeof line,
                   "%d,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%llu,%llu,%.9g,"
                   "%llu,%llu,%llu,%llu,%llu,%.9g,%.9g,%.9g,%.9g,"
-                  "%llu,%.9g\n",
+                  "%llu,%.9g,%llu,%llu,%llu,%llu\n",
                   rec.step, rec.time, rec.dt, rec.step_seconds,
                   rec.exchange_seconds, rec.gravity_seconds,
                   rec.hydro_seconds,
@@ -50,7 +51,11 @@ void metrics_sink::emit(const step_record& rec) {
                   rec.idle_fraction, rec.crit_path_us, rec.crit_path_frac,
                   rec.imbalance,
                   static_cast<unsigned long long>(rec.rebalance_count),
-                  rec.max_over_mean);
+                  rec.max_over_mean,
+                  static_cast<unsigned long long>(rec.sdc_audits),
+                  static_cast<unsigned long long>(rec.sdc_detected),
+                  static_cast<unsigned long long>(rec.sdc_retries),
+                  static_cast<unsigned long long>(rec.sdc_rollbacks));
   } else {
     std::snprintf(
         line, sizeof line,
@@ -62,7 +67,9 @@ void metrics_sink::emit(const step_record& rec) {
         "\"localities_lost\":%llu,\"leaves_migrated\":%llu,"
         "\"idle_fraction\":%.9g,\"crit_path_us\":%.9g,"
         "\"crit_path_frac\":%.9g,\"imbalance\":%.9g,"
-        "\"rebalance_count\":%llu,\"max_over_mean\":%.9g}\n",
+        "\"rebalance_count\":%llu,\"max_over_mean\":%.9g,"
+        "\"sdc_audits\":%llu,\"sdc_detected\":%llu,"
+        "\"sdc_retries\":%llu,\"sdc_rollbacks\":%llu}\n",
         rec.step, rec.time, rec.dt, rec.step_seconds, rec.exchange_seconds,
         rec.gravity_seconds, rec.hydro_seconds,
         static_cast<unsigned long long>(rec.subgrids),
@@ -74,7 +81,11 @@ void metrics_sink::emit(const step_record& rec) {
         static_cast<unsigned long long>(rec.leaves_migrated),
         rec.idle_fraction, rec.crit_path_us, rec.crit_path_frac,
         rec.imbalance, static_cast<unsigned long long>(rec.rebalance_count),
-        rec.max_over_mean);
+        rec.max_over_mean,
+        static_cast<unsigned long long>(rec.sdc_audits),
+        static_cast<unsigned long long>(rec.sdc_detected),
+        static_cast<unsigned long long>(rec.sdc_retries),
+        static_cast<unsigned long long>(rec.sdc_rollbacks));
   }
   out_ << line;
   out_.flush();  // steps are seconds-scale; make records crash-durable

@@ -51,6 +51,11 @@ struct step_record {
   std::uint64_t rebalance_count = 0;  ///< rebalances applied so far (cumulative)
   double max_over_mean = 0;  ///< measured per-locality cost imbalance
                              ///< (tree::cost_max_over_mean; 0 = unmeasured)
+  /// Silent-data-corruption defense (app/invariants.hpp); all cumulative.
+  std::uint64_t sdc_audits = 0;     ///< completed audit+seal passes
+  std::uint64_t sdc_detected = 0;   ///< tripped detectors
+  std::uint64_t sdc_retries = 0;    ///< snapshot retries attempted
+  std::uint64_t sdc_rollbacks = 0;  ///< escalations to checkpoint rollback
 
   /// Fill cells_per_sec from cells and step_seconds.
   void finalize() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "amt/future.hpp"
 #include "apex/apex.hpp"
@@ -10,6 +11,7 @@
 #include "apex/trace.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/stopwatch.hpp"
 
@@ -76,6 +78,14 @@ void simulation::initialize() {
   if (opt_.self_gravity) solve_gravity();
   dt_ = opt_.fixed_dt > 0 ? opt_.fixed_dt : compute_dt();
   initialized_ = true;
+
+  // Arm the SDC auditor: seal the initial state so the very first step can
+  // already verify it was read back uncorrupted.
+  auditor_ = invariant_auditor(opt_.audit);
+  if (auditor_.enabled()) {
+    auditor_.resize(topo_->num_nodes());
+    sdc_seal_all();
+  }
 }
 
 grid::subgrid& simulation::leaf(index_t node) {
@@ -212,6 +222,9 @@ void simulation::hydro_stage(real dt, real ca, real cb) {
           const apex::scoped_trace_span span("app.hydro.leaf");
           const apex::cost_scope cost(
               cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
+#if OCTO_EOS_GUARDS
+          hydro::eos_guard().leaf = static_cast<long>(l);
+#endif
           static thread_local hydro::workspace ws;
           static thread_local std::vector<real> dudt;
           dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -349,6 +362,9 @@ void simulation::step_graph(real dt) {
             const apex::scoped_trace_span span("app.hydro.leaf");
             const apex::cost_scope cost(
                 cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
+#if OCTO_EOS_GUARDS
+            hydro::eos_guard().leaf = static_cast<long>(l);
+#endif
             static thread_local hydro::workspace ws;
             static thread_local std::vector<real> dudt;
             dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -537,6 +553,80 @@ void simulation::step_graph(real dt) {
   }
 }
 
+void simulation::step_attempt(real dt) {
+  // Injection + pre-read verification: any at-rest flip since the last
+  // step's seals — injected or real — trips here, before the state is read.
+  sdc_apply_bitflips(steps_ + 1);
+  if (auditor_.enabled()) {
+    const apex::scoped_timer audit_t(sdc_metrics().audit_timer);
+    sdc_verify_all();
+  }
+
+  // Record the step's task graph only when someone is observing (a trace
+  // sink or a metrics sink): dataflow's hot path stays one relaxed load
+  // otherwise.
+  const bool record_dag =
+      opt_.mode == step_mode::dataflow &&
+      (apex::trace::enabled() || metrics_ != nullptr);
+  if (opt_.mode == step_mode::dataflow) {
+    if (record_dag) apex::dag_recorder::instance().begin_step();
+    try {
+      step_graph(dt);
+    } catch (...) {
+      // step_graph drained the graph before rethrowing; the partial
+      // recording is worthless — discard it and re-arm nothing.
+      if (record_dag) (void)apex::dag_recorder::instance().end_step();
+      throw;
+    }
+    if (record_dag) {
+      last_crit_ = apex::analyze_critical_path(
+          apex::dag_recorder::instance().end_step());
+      apex::export_critical_path_counters(last_crit_);
+      have_crit_ = true;
+    }
+  } else {
+    step_barrier(dt);
+    // Re-evaluate the CFL condition on the evolved state so the next
+    // step's dt tracks the current signal speeds.
+    if (opt_.fixed_dt <= 0) dt_ = compute_dt();
+  }
+
+  // Post-step audit (invariants at cadence) and fresh seals over the
+  // evolved state — the seals must be retaken last, after every detector
+  // has passed, so a failed attempt leaves the pre-step seals intact.
+  if (auditor_.enabled()) {
+    const apex::scoped_timer audit_t(sdc_metrics().audit_timer);
+    sdc_audit_and_seal(dt_, steps_ + 1);
+    ++sdc_audits_;
+    apex::registry::instance().add(sdc_metrics().audits);
+  }
+}
+
+void simulation::sdc_retry(const sdc_snapshot& snap, real dt) {
+  ++sdc_retries_;
+  apex::registry::instance().add(sdc_metrics().retries);
+  try {
+    // Transient-error path: restore the in-memory pre-step snapshot and
+    // re-execute.  A deterministic second execution must agree bitwise
+    // (dual-execution compare-vote) before the retry is trusted.
+    sdc_restore(snap);
+    step_attempt(dt);
+    const std::uint64_t ballot_a = sdc_state_signature();
+    sdc_restore(snap);
+    step_attempt(dt);
+    if (sdc_state_signature() != ballot_a)
+      throw sdc_detected(
+          "dual-execution compare-vote mismatch on retry — the two "
+          "re-executions disagree, escalating to checkpoint rollback");
+  } catch (const sdc_detected&) {
+    // The audit tripped again (or the vote failed): escalate to the
+    // checkpoint-rollback driver.
+    ++sdc_rollbacks_;
+    apex::registry::instance().add(sdc_metrics().rollbacks);
+    throw;
+  }
+}
+
 real simulation::step() {
   OCTO_CHECK_MSG(initialized_, "call initialize() first");
   const apex::scoped_timer apex_t(timers().step);
@@ -549,36 +639,18 @@ real simulation::step() {
   const stopwatch step_watch;
   phase_exchange_s_ = phase_gravity_s_ = phase_hydro_s_ = 0;
   const amt::runtime_stats stats0 = space_.runtime().stats();
+  have_crit_ = false;
 
-  // Record the step's task graph only when someone is observing (a trace
-  // sink or a metrics sink): dataflow's hot path stays one relaxed load
-  // otherwise.
-  const bool record_dag =
-      opt_.mode == step_mode::dataflow &&
-      (apex::trace::enabled() || metrics_ != nullptr);
-  apex::critical_path_result crit;
-  bool have_crit = false;
-  if (opt_.mode == step_mode::dataflow) {
-    if (record_dag) apex::dag_recorder::instance().begin_step();
+  if (auditor_.enabled()) {
+    const sdc_snapshot snap = sdc_take_snapshot();
     try {
-      step_graph(dt);
-    } catch (...) {
-      // step_graph drained the graph before rethrowing; the partial
-      // recording is worthless — discard it and re-arm nothing.
-      if (record_dag) (void)apex::dag_recorder::instance().end_step();
-      throw;
-    }
-    if (record_dag) {
-      crit = apex::analyze_critical_path(
-          apex::dag_recorder::instance().end_step());
-      apex::export_critical_path_counters(crit);
-      have_crit = true;
+      step_attempt(dt);
+    } catch (const sdc_detected&) {
+      ++sdc_detected_;
+      sdc_retry(snap, dt);
     }
   } else {
-    step_barrier(dt);
-    // Re-evaluate the CFL condition on the evolved state so the next
-    // step's dt tracks the current signal speeds.
-    if (opt_.fixed_dt <= 0) dt_ = compute_dt();
+    step_attempt(dt);
   }
 
   time_ += dt;
@@ -606,11 +678,16 @@ real simulation::step() {
     last_metrics_.idle_fraction =
         static_cast<double>(stats1.idle_ns - stats0.idle_ns) / busy_ns;
   }
-  if (have_crit) {
-    last_metrics_.crit_path_us = static_cast<double>(crit.length_ns) / 1e3;
-    last_metrics_.crit_path_frac = crit.crit_path_frac();
-    last_metrics_.imbalance = crit.imbalance;
+  if (have_crit_) {
+    last_metrics_.crit_path_us =
+        static_cast<double>(last_crit_.length_ns) / 1e3;
+    last_metrics_.crit_path_frac = last_crit_.crit_path_frac();
+    last_metrics_.imbalance = last_crit_.imbalance;
   }
+  last_metrics_.sdc_audits = sdc_audits_;
+  last_metrics_.sdc_detected = sdc_detected_;
+  last_metrics_.sdc_retries = sdc_retries_;
+  last_metrics_.sdc_rollbacks = sdc_rollbacks_;
   last_metrics_.finalize();
   if (metrics_ != nullptr) metrics_->emit(last_metrics_);
   return dt;
@@ -626,6 +703,14 @@ void simulation::restore_state(real time, std::int64_t step) {
   exchange_ghosts();
   if (opt_.self_gravity) solve_gravity();
   dt_ = opt_.fixed_dt > 0 ? opt_.fixed_dt : compute_dt();
+  // The restored fields are the trusted state now: retake the seals (the
+  // old ones described the pre-rollback state) and restart the drift
+  // history's warmup.  The containment retry re-restores its own history
+  // on top of this.
+  if (auditor_.enabled()) {
+    auditor_.reset_history();
+    sdc_seal_all();
+  }
 }
 
 bool simulation::regrid() {
@@ -745,6 +830,12 @@ bool simulation::regrid() {
   exchange_ghosts();
   if (opt_.self_gravity) solve_gravity();
   if (opt_.fixed_dt <= 0) dt_ = compute_dt();
+  // Node identities changed: rebuild the seal store over the new topology
+  // (the conservative transfer is the trusted state now).
+  if (auditor_.enabled()) {
+    auditor_.resize(topo_->num_nodes());
+    sdc_seal_all();
+  }
   return true;
 }
 
@@ -759,6 +850,113 @@ ledger simulation::measure() const {
   }
   if (opt_.self_gravity) lg.pot_energy = grav_->potential_energy();
   return lg;
+}
+
+// ---------------------------------------------------------------------------
+// SDC containment (see app/invariants.hpp for the detection model)
+// ---------------------------------------------------------------------------
+
+void simulation::sdc_seal_all() {
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  for (const index_t l : topo_->leaves())
+    futs.push_back(
+        amt::async([this, l] { auditor_.seal_leaf(l, grids_[l]); }, rt));
+  amt::wait_all(futs, rt);
+  if (opt_.self_gravity) auditor_.seal_moments(grav_->moments_crc());
+}
+
+void simulation::sdc_verify_all() {
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  for (const index_t l : topo_->leaves())
+    futs.push_back(
+        amt::async([this, l] { auditor_.verify_leaf(l, grids_[l]); }, rt));
+  // get_all, not wait_all: a seal mismatch must surface as sdc_detected.
+  amt::get_all(futs, rt);
+  if (opt_.self_gravity && auditor_.moments_sealed())
+    auditor_.verify_moments(grav_->moments_crc());
+}
+
+void simulation::sdc_apply_bitflips(std::int64_t step) {
+  auto& inj = fault::injector::instance();
+  if (!inj.armed()) return;
+  fault::bitflip_plan plan;
+  const auto& leaves = topo_->leaves();
+  if (inj.state_bitflip_hook(static_cast<std::uint64_t>(step), &plan)) {
+    // Single-locality driver: every loc value targets this process.
+    const index_t l =
+        leaves[static_cast<std::size_t>(plan.leaf % leaves.size())];
+    apply_state_bitflip(grids_[l], plan.field, plan.cell, plan.bit);
+    OCTO_LOG_WARN("fault: injected state bitflip at step "
+                  << step << " leaf " << l << " field "
+                  << plan.field % static_cast<std::uint64_t>(grid::NFIELD)
+                  << " bit " << plan.bit % 64);
+  }
+  if (inj.moment_bitflip_hook(static_cast<std::uint64_t>(step), &plan) &&
+      opt_.self_gravity) {
+    const index_t l =
+        leaves[static_cast<std::size_t>(plan.leaf % leaves.size())];
+    grav_->apply_moment_bitflip(l, plan.field, plan.cell, plan.bit);
+    OCTO_LOG_WARN("fault: injected moment bitflip at step " << step
+                                                            << " node " << l);
+  }
+}
+
+sdc_snapshot simulation::sdc_take_snapshot() const {
+  sdc_snapshot snap;
+  const auto& leaves = topo_->leaves();
+  snap.nodes.assign(leaves.begin(), leaves.end());
+  snap.data.reserve(leaves.size());
+  for (const index_t l : leaves) snap.data.push_back(grids_[l].raw());
+  snap.time = time_;
+  snap.dt = dt_;
+  snap.steps = steps_;
+  snap.history = auditor_.save_history();
+  return snap;
+}
+
+void simulation::sdc_restore(const sdc_snapshot& snap) {
+  for (std::size_t i = 0; i < snap.nodes.size(); ++i)
+    grids_[snap.nodes[i]].raw() = snap.data[i];
+  // restore_state re-exchanges ghosts, re-solves gravity and recomputes dt
+  // from the restored fields — bitwise identical to the pre-attempt state,
+  // so the clean re-execution matches the original seals exactly.
+  restore_state(snap.time, snap.steps);
+  dt_ = snap.dt;
+  auditor_.restore_history(snap.history);
+}
+
+std::uint64_t simulation::sdc_state_signature() const {
+  // FNV-style fold over the per-leaf seals in leaf order, plus the moment
+  // seal and the next dt — the dual-execution vote's ballot.
+  std::uint64_t sig = 1469598103934665603ull;
+  const auto fold = [&sig](std::uint64_t v) {
+    sig = (sig ^ v) * 1099511628211ull;
+  };
+  for (const index_t l : topo_->leaves()) fold(auditor_.seal_of(l));
+  if (auditor_.moments_sealed()) fold(auditor_.moment_seal());
+  std::uint64_t dt_bits = 0;
+  static_assert(sizeof(real) == sizeof(dt_bits), "real must be 64-bit");
+  std::memcpy(&dt_bits, &dt_, sizeof(dt_bits));
+  fold(dt_bits);
+  return sig;
+}
+
+void simulation::sdc_audit_and_seal(real dt_next, std::int64_t step) {
+  // NaN/Inf + positivity scans and the conservation/CFL audit run at
+  // cadence; the seals are retaken every step (a stale seal cannot verify
+  // legitimately evolved state).
+  if (auditor_.invariants_due(step)) {
+    auto& rt = space_.runtime();
+    std::vector<amt::future<void>> futs;
+    for (const index_t l : topo_->leaves())
+      futs.push_back(
+          amt::async([this, l] { auditor_.audit_leaf(l, grids_[l]); }, rt));
+    amt::get_all(futs, rt);
+    auditor_.audit_step(measure(), dt_next, step);
+  }
+  sdc_seal_all();
 }
 
 }  // namespace octo::app

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "apex/cost_model.hpp"
+#include "apex/critical_path.hpp"
 #include "apex/metrics.hpp"
+#include "app/invariants.hpp"
 #include "common/types.hpp"
 #include "exec/execution_space.hpp"
 #include "gravity/solver.hpp"
@@ -60,6 +62,11 @@ struct sim_options {
   /// dynamic rebalancing partitions on.  Off: the per-task overhead is one
   /// null-pointer branch.
   bool measure_leaf_costs = false;
+  /// Silent-data-corruption auditing (CRC32 leaf/moment seals every step,
+  /// physics invariants at `audit.every` cadence) with automatic
+  /// contain-and-retry; see app/invariants.hpp.  Defaults honor OCTO_AUDIT
+  /// and OCTO_AUDIT_EVERY.
+  audit_options audit{};
 };
 
 /// Global conserved quantities, including gravitational energy.
@@ -130,6 +137,16 @@ class simulation {
   /// slots follow topo().leaves() order and reset on regrid()).
   const apex::leaf_cost_model& cost_model() const { return cost_model_; }
 
+  /// The SDC auditor guarding this simulation (seals + invariants; see
+  /// app/invariants.hpp).  Inactive when options().audit.enabled is false.
+  const invariant_auditor& auditor() const { return auditor_; }
+
+  /// Cumulative SDC counters (mirrored into the metrics columns).
+  std::uint64_t sdc_audits() const { return sdc_audits_; }
+  std::uint64_t sdc_detections() const { return sdc_detected_; }
+  std::uint64_t sdc_retries() const { return sdc_retries_; }
+  std::uint64_t sdc_rollbacks() const { return sdc_rollbacks_; }
+
  private:
   apex::leaf_cost_model* cost_model_ptr() {
     return cost_model_.active() ? &cost_model_ : nullptr;
@@ -144,6 +161,25 @@ class simulation {
   /// each leaf's own ghost/gravity edges, gravity via solve_dataflow, one
   /// get_all join at the end followed by the dt reduction.
   void step_graph(real dt);
+
+  // --- SDC containment (see app/invariants.hpp) --------------------------
+  /// One execution attempt of the step: apply any armed bitflip, verify
+  /// the seals, run the physics, audit the result, retake the seals.
+  /// Throws sdc_detected on a tripped detector.
+  void step_attempt(real dt);
+  /// Retry a tripped step from \p snap with a dual-execution compare-vote;
+  /// rethrows sdc_detected (the checkpoint-rollback escalation) when the
+  /// retry trips again or the two executions disagree.
+  void sdc_retry(const sdc_snapshot& snap, real dt);
+  sdc_snapshot sdc_take_snapshot() const;
+  void sdc_restore(const sdc_snapshot& snap);
+  void sdc_apply_bitflips(std::int64_t step);
+  void sdc_verify_all();
+  void sdc_audit_and_seal(real dt_next, std::int64_t step);
+  void sdc_seal_all();
+  /// Order-independent digest of the evolved state (leaf seals + dt), the
+  /// dual-execution vote's ballot.
+  std::uint64_t sdc_state_signature() const;
 
   scen::scenario scenario_;
   sim_options opt_;
@@ -163,7 +199,16 @@ class simulation {
 
   apex::metrics_sink* metrics_ = nullptr;
   apex::step_record last_metrics_{};
+  /// Critical-path analysis of the most recent step_attempt's dataflow DAG
+  /// (member state so a retried attempt reports its own recording).
+  apex::critical_path_result last_crit_{};
+  bool have_crit_ = false;
   apex::leaf_cost_model cost_model_;
+  invariant_auditor auditor_;
+  std::uint64_t sdc_audits_ = 0;
+  std::uint64_t sdc_detected_ = 0;
+  std::uint64_t sdc_retries_ = 0;
+  std::uint64_t sdc_rollbacks_ = 0;
   /// Wall seconds per phase, accumulated across the current step's RK
   /// stages and zeroed at step() entry.
   double phase_exchange_s_ = 0;

@@ -21,15 +21,42 @@ inline constexpr std::array<std::uint32_t, 256> crc32_table = [] {
   }
   return t;
 }();
+
+/// Slice-by-8 tables: table[k][b] advances the CRC by byte b arriving k
+/// bytes before the end of an 8-byte group.  Same polynomial, same values
+/// as the byte-at-a-time loop — only the throughput changes (the SDC
+/// auditor checksums every leaf's conserved block twice per step).
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> crc32_tables =
+    [] {
+      std::array<std::array<std::uint32_t, 256>, 8> t{};
+      t[0] = crc32_table;
+      for (std::size_t k = 1; k < 8; ++k)
+        for (std::size_t i = 0; i < 256; ++i)
+          t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+      return t;
+    }();
 }  // namespace detail
 
 /// CRC-32 of \p n bytes at \p data, continuing from \p seed (0 to start).
 inline std::uint32_t crc32(const void* data, std::size_t n,
                            std::uint32_t seed = 0) {
+  const auto& T = detail::crc32_tables;
   const auto* p = static_cast<const std::uint8_t*>(data);
   std::uint32_t c = ~seed;
-  for (std::size_t i = 0; i < n; ++i)
-    c = detail::crc32_table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  for (; n >= 8; p += 8, n -= 8) {
+    const std::uint32_t lo = c ^ (std::uint32_t(p[0]) |
+                                  std::uint32_t(p[1]) << 8 |
+                                  std::uint32_t(p[2]) << 16 |
+                                  std::uint32_t(p[3]) << 24);
+    const std::uint32_t hi = std::uint32_t(p[4]) | std::uint32_t(p[5]) << 8 |
+                             std::uint32_t(p[6]) << 16 |
+                             std::uint32_t(p[7]) << 24;
+    c = T[7][lo & 0xFFu] ^ T[6][(lo >> 8) & 0xFFu] ^
+        T[5][(lo >> 16) & 0xFFu] ^ T[4][lo >> 24] ^ T[3][hi & 0xFFu] ^
+        T[2][(hi >> 8) & 0xFFu] ^ T[1][(hi >> 16) & 0xFFu] ^ T[0][hi >> 24];
+  }
+  for (; n != 0; ++p, --n)
+    c = detail::crc32_table[(c ^ *p) & 0xFFu] ^ (c >> 8);
   return ~c;
 }
 

@@ -10,29 +10,26 @@ namespace octo::fault {
 
 namespace {
 
-std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return dflt;
-  return std::strtoull(v, nullptr, 10);
+[[noreturn]] void reject(const char* name, const char* value,
+                         const char* expected) {
+  throw error(std::string("malformed fault spec ") + name + "='" + value +
+              "' — expected " + expected +
+              " (a typo'd injection must fail loudly, not arm nothing)");
 }
 
-double env_prob(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return 0;
-  const double p = std::strtod(v, nullptr);
-  return p < 0 ? 0 : (p > 1 ? 1 : p);
-}
-
-/// "<loc>:<step>" (e.g. "1:3"); returns {-1, 0} when unset or malformed.
-std::pair<int, std::uint64_t> env_locality_kill(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return {-1, 0};
-  char* end = nullptr;
-  const long loc = std::strtol(v, &end, 10);
-  if (end == v || *end != ':') return {-1, 0};
-  const std::uint64_t step = std::strtoull(end + 1, nullptr, 10);
-  if (loc < 0 || step == 0) return {-1, 0};
-  return {static_cast<int>(loc), step};
+/// Strict u64 field parse: consumes digits from \p p, advances past them.
+/// Returns false on no digits or overflow.
+bool eat_u64(const char*& p, std::uint64_t& out) {
+  if (*p < '0' || *p > '9') return false;
+  std::uint64_t v = 0;
+  while (*p >= '0' && *p <= '9') {
+    const std::uint64_t d = static_cast<std::uint64_t>(*p - '0');
+    if (v > (~std::uint64_t(0) - d) / 10) return false;
+    v = v * 10 + d;
+    ++p;
+  }
+  out = v;
+  return true;
 }
 
 std::uint64_t splitmix64(std::uint64_t& s) {
@@ -44,10 +41,76 @@ std::uint64_t splitmix64(std::uint64_t& s) {
 
 }  // namespace
 
+std::uint64_t parse_fault_u64(const char* name, const char* value,
+                              std::uint64_t dflt) {
+  if (value == nullptr || *value == '\0') return dflt;
+  const char* p = value;
+  std::uint64_t v = 0;
+  if (!eat_u64(p, v) || *p != '\0')
+    reject(name, value, "an unsigned base-10 integer");
+  return v;
+}
+
+double parse_fault_prob(const char* name, const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const double p = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(p >= 0) || !(p <= 1))
+    reject(name, value, "a probability in [0, 1]");
+  return p;
+}
+
+std::pair<int, std::uint64_t> parse_locality_kill(const char* name,
+                                                  const char* value) {
+  if (value == nullptr || *value == '\0') return {-1, 0};
+  const char* p = value;
+  std::uint64_t loc = 0, step = 0;
+  const bool ok = eat_u64(p, loc) && *p == ':' && (++p, eat_u64(p, step)) &&
+                  *p == '\0' && step != 0 && loc <= 0x7FFFFFFFull;
+  if (!ok) reject(name, value, "\"<loc>:<step>\" with step >= 1");
+  return {static_cast<int>(loc), step};
+}
+
+bitflip_spec parse_bitflip_spec(const char* name, const char* value) {
+  bitflip_spec spec;
+  if (value == nullptr || *value == '\0') return spec;
+  const char* expected =
+      "\"<loc>:<step>:<leaf>:<field>[:<count>]\" or "
+      "\"random:<step>[:<count>]\" with step >= 1, count >= 1";
+  const char* p = value;
+  if (std::string(value).rfind("random:", 0) == 0) {
+    spec.random = true;
+    p = value + 7;
+    if (!eat_u64(p, spec.step)) reject(name, value, expected);
+  } else {
+    const bool ok = eat_u64(p, spec.loc) && *p == ':' &&
+                    (++p, eat_u64(p, spec.step)) && *p == ':' &&
+                    (++p, eat_u64(p, spec.leaf)) && *p == ':' &&
+                    (++p, eat_u64(p, spec.field));
+    if (!ok) reject(name, value, expected);
+  }
+  if (*p == ':') {
+    ++p;
+    if (!eat_u64(p, spec.count)) reject(name, value, expected);
+  }
+  if (*p != '\0' || spec.step == 0 || spec.count == 0)
+    reject(name, value, expected);
+  return spec;
+}
+
 injector& injector::instance() {
   static injector inst;
   return inst;
 }
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  return parse_fault_u64(name, std::getenv(name), dflt);
+}
+double env_prob(const char* name) {
+  return parse_fault_prob(name, std::getenv(name));
+}
+}  // namespace
 
 injector::injector()
     : rng_(env_u64("OCTO_FAULT_SEED", 0x0C70F4A57ull)) {
@@ -61,9 +124,14 @@ injector::injector()
   msg_delay_us_ = env_u64("OCTO_FAULT_MSG_DELAY_US", 0);
   msg_dup_ = env_prob("OCTO_FAULT_MSG_DUP");
   msg_reorder_ = env_prob("OCTO_FAULT_MSG_REORDER");
-  const auto [kloc, kstep] = env_locality_kill("OCTO_FAULT_LOCALITY_KILL");
+  const auto [kloc, kstep] = parse_locality_kill(
+      "OCTO_FAULT_LOCALITY_KILL", std::getenv("OCTO_FAULT_LOCALITY_KILL"));
   kill_locality_ = kloc;
   kill_step_ = kstep;
+  arm_state_bitflip(parse_bitflip_spec(
+      "OCTO_FAULT_STATE_BITFLIP", std::getenv("OCTO_FAULT_STATE_BITFLIP")));
+  arm_moment_bitflip(parse_bitflip_spec(
+      "OCTO_FAULT_MOMENT_BITFLIP", std::getenv("OCTO_FAULT_MOMENT_BITFLIP")));
 }
 
 void injector::reset() {
@@ -79,6 +147,8 @@ void injector::reset() {
   kill_locality_ = -1;
   kill_step_ = 0;
   kill_fired_ = false;
+  arm_state_bitflip(bitflip_spec{});
+  arm_moment_bitflip(bitflip_spec{});
   ghost_slabs_seen_ = 0;
   steps_seen_ = 0;
   injected_ = 0;
@@ -185,6 +255,41 @@ int injector::locality_kill_hook(std::uint64_t step) {
 bool injector::locality_alive(int loc) const {
   return !(kill_fired_.load(std::memory_order_relaxed) &&
            kill_locality_.load(std::memory_order_relaxed) == loc);
+}
+
+bool injector::bitflip_hook(std::uint64_t step, bitflip_plan* plan,
+                            flip_state& fs,
+                            std::atomic<std::uint64_t>& count) {
+  const std::uint64_t armed = fs.step.load(std::memory_order_relaxed);
+  if (armed == 0 || step != armed) return false;
+  // Claim one unit of fire budget; count > 1 re-fires on retry attempts.
+  std::uint64_t c = count.load(std::memory_order_relaxed);
+  while (c != 0 &&
+         !count.compare_exchange_weak(c, c - 1, std::memory_order_relaxed)) {
+  }
+  if (c == 0) return false;
+  plan->random = fs.random.load(std::memory_order_relaxed);
+  if (plan->random) {
+    plan->loc = next_rand();
+    plan->leaf = next_rand();
+    plan->field = next_rand();
+  } else {
+    plan->loc = fs.loc.load(std::memory_order_relaxed);
+    plan->leaf = fs.leaf.load(std::memory_order_relaxed);
+    plan->field = fs.field.load(std::memory_order_relaxed);
+  }
+  plan->cell = next_rand();
+  plan->bit = next_rand();
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool injector::state_bitflip_hook(std::uint64_t step, bitflip_plan* plan) {
+  return bitflip_hook(step, plan, state_flip_, state_flip_count_);
+}
+
+bool injector::moment_bitflip_hook(std::uint64_t step, bitflip_plan* plan) {
+  return bitflip_hook(step, plan, moment_flip_, moment_flip_count_);
 }
 
 void injector::maybe_fail_step() {

@@ -26,6 +26,14 @@
 ///     integration step `step`: its heartbeat stops, its in-memory leaf
 ///     state is scrubbed, and `dist` recovery must shrink the cluster and
 ///     restore the lost leaves from a buddy replica or checkpoint.
+///   * silent data corruption — flip one bit inside a conserved-field array
+///     (`OCTO_FAULT_STATE_BITFLIP`) or a multipole-moment array
+///     (`OCTO_FAULT_MOMENT_BITFLIP`) at a chosen integration step, modeling
+///     a DRAM/register soft error at rest.  The step drivers consult the
+///     hooks once per execution attempt of the armed step, so a `count`
+///     greater than one re-fires on the SDC retry path and forces the
+///     escalation to checkpoint rollback.  The `app::invariant_auditor`
+///     must detect every such flip within one audit interval.
 ///
 /// Arming: programmatically (tests) or via the environment, read once at
 /// first use — `OCTO_FAULT_GHOST_CORRUPT=<nth>`, `OCTO_FAULT_GHOST_TRUNCATE=
@@ -33,8 +41,14 @@
 /// <offset>`, `OCTO_FAULT_STEP=<nth>`, `OCTO_FAULT_MSG_DROP=<p>`,
 /// `OCTO_FAULT_MSG_DELAY_US=<max_us>`, `OCTO_FAULT_MSG_DUP=<p>`,
 /// `OCTO_FAULT_MSG_REORDER=<p>`, `OCTO_FAULT_LOCALITY_KILL=<loc>:<step>`,
+/// `OCTO_FAULT_STATE_BITFLIP=<loc>:<step>:<leaf>:<field>[:<count>]` (or
+/// `random:<step>[:<count>]` for the seeded-random mode), `OCTO_FAULT_
+/// MOMENT_BITFLIP=<loc>:<step>:<leaf>:<coeff>[:<count>]` (or `random:...`),
 /// `OCTO_FAULT_SEED=<u64>`.  All counts are 1-based; 0 disarms;
-/// probabilities are floats in [0, 1].  Every random decision (which bit
+/// probabilities are floats in [0, 1].  A malformed non-empty value is a
+/// startup error (`octo::error` naming the variable and the expected
+/// format), never a silently disarmed fault — a typo'd injection test must
+/// fail loudly, not pass vacuously.  Every random decision (which bit
 /// flips, whether a frame drops) is drawn from a splitmix64 stream seeded
 /// by OCTO_FAULT_SEED, so a failing run is reproducible from its
 /// environment.
@@ -44,9 +58,50 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace octo::fault {
+
+/// Parsed form of an `OCTO_FAULT_*_BITFLIP` spec.  `step == 0` means
+/// disarmed.  In random mode loc/leaf/field are drawn from the seeded
+/// stream when the flip fires instead of being taken from the spec.
+struct bitflip_spec {
+  bool random = false;
+  std::uint64_t loc = 0;    ///< target locality
+  std::uint64_t step = 0;   ///< 1-based integration step; 0 disarms
+  std::uint64_t leaf = 0;   ///< SFC ordinal among loc's owned leaves
+  std::uint64_t field = 0;  ///< conserved-field / moment-coefficient index
+  std::uint64_t count = 1;  ///< executions of the armed step that flip
+};
+
+/// Target of one state / moment bit flip.  In deterministic mode
+/// loc/leaf/field are the armed values; in random mode they are raw draws
+/// the caller reduces modulo its locality / leaf / field counts.  `cell`
+/// and `bit` are always raw draws to reduce modulo the cell count and the
+/// bits per value.
+struct bitflip_plan {
+  std::uint64_t loc = 0;
+  std::uint64_t leaf = 0;
+  std::uint64_t field = 0;
+  std::uint64_t cell = 0;
+  std::uint64_t bit = 0;
+  bool random = false;
+};
+
+// --- strict env-spec parsing (exposed so tests can cover the rejects) ----
+/// Parse "<loc>:<step>:<leaf>:<field>[:<count>]" or "random:<step>
+/// [:<count>]".  nullptr/empty \p value disarms; anything else malformed
+/// throws octo::error naming \p name and the expected format.
+bitflip_spec parse_bitflip_spec(const char* name, const char* value);
+/// Strict base-10 u64; rejects empty-after-sign, trailing garbage, range.
+std::uint64_t parse_fault_u64(const char* name, const char* value,
+                              std::uint64_t dflt);
+/// Strict probability in [0, 1]; rejects non-numeric and out-of-range.
+double parse_fault_prob(const char* name, const char* value);
+/// Parse "<loc>:<step>"; returns {-1, 0} when \p value is null/empty.
+std::pair<int, std::uint64_t> parse_locality_kill(const char* name,
+                                                  const char* value);
 
 class injector {
  public:
@@ -79,6 +134,20 @@ class injector {
     kill_locality_ = loc;
     kill_step_ = step;
     kill_fired_ = false;  // re-arming resets the one-shot latch
+  }
+
+  /// Flip one bit of conserved field `spec.field` in the `spec.leaf`th
+  /// owned leaf of locality `spec.loc` on the first `spec.count`
+  /// execution attempts of integration step `spec.step` (1-based; step 0
+  /// disarms).  count > 1 re-fires on the step-retry path.
+  void arm_state_bitflip(const bitflip_spec& spec) {
+    store_bitflip(spec, state_flip_, state_flip_count_);
+  }
+  /// Same, but the target is a multipole-moment coefficient of the
+  /// gravity solver (`spec.leaf` = leaf ordinal, `spec.field` = moment
+  /// component index).
+  void arm_moment_bitflip(const bitflip_spec& spec) {
+    store_bitflip(spec, moment_flip_, moment_flip_count_);
   }
 
   /// Disarm everything and zero all counters (tests call this in SetUp).
@@ -120,6 +189,13 @@ class injector {
   /// False once locality \p loc has been declared dead by the hook above.
   bool locality_alive(int loc) const;
 
+  /// State-bitflip trigger, consulted once per execution attempt of each
+  /// integration step (1-based) by the step drivers: returns true and
+  /// fills \p plan while the armed step still has fire budget.
+  bool state_bitflip_hook(std::uint64_t step, bitflip_plan* plan);
+  /// Moment-bitflip trigger; identical semantics for the gravity moments.
+  bool moment_bitflip_hook(std::uint64_t step, bitflip_plan* plan);
+
   // --- introspection -----------------------------------------------------
   std::uint64_t injected() const {
     return injected_.load(std::memory_order_relaxed);
@@ -127,7 +203,8 @@ class injector {
   bool armed() const {
     return ghost_corrupt_ || ghost_truncate_ || ckpt_bitflip_ ||
            fail_step_ || ckpt_budget_ != no_budget || msg_faults_armed() ||
-           kill_step_ != 0;
+           kill_step_ != 0 || state_flip_.step != 0 ||
+           moment_flip_.step != 0;
   }
   bool msg_faults_armed() const {
     return msg_drop_.load() > 0 || msg_delay_us_.load() > 0 ||
@@ -136,6 +213,28 @@ class injector {
 
  private:
   injector();
+
+  /// Armed state/moment-bitflip target; all-atomic so arming from a test
+  /// thread never races a step driver consulting the hook.
+  struct flip_state {
+    std::atomic<bool> random{false};
+    std::atomic<std::uint64_t> loc{0};
+    std::atomic<std::uint64_t> step{0};  ///< 1-based; 0 = off
+    std::atomic<std::uint64_t> leaf{0};
+    std::atomic<std::uint64_t> field{0};
+  };
+
+  void store_bitflip(const bitflip_spec& spec, flip_state& fs,
+                     std::atomic<std::uint64_t>& count) {
+    fs.random = spec.random;
+    fs.loc = spec.loc;
+    fs.leaf = spec.leaf;
+    fs.field = spec.field;
+    count = spec.step == 0 ? 0 : spec.count;
+    fs.step = spec.step;
+  }
+  bool bitflip_hook(std::uint64_t step, bitflip_plan* plan, flip_state& fs,
+                    std::atomic<std::uint64_t>& count);
 
   /// Next value of the deterministic corruption-position stream.
   std::uint64_t next_rand();
@@ -160,6 +259,11 @@ class injector {
   std::atomic<int> kill_locality_{-1};
   std::atomic<std::uint64_t> kill_step_{0};  ///< 1-based; 0 = off
   std::atomic<bool> kill_fired_{false};
+
+  flip_state state_flip_;
+  flip_state moment_flip_;
+  std::atomic<std::uint64_t> state_flip_count_{0};
+  std::atomic<std::uint64_t> moment_flip_count_{0};
 
   std::atomic<std::uint64_t> ghost_slabs_seen_{0};
   std::atomic<std::uint64_t> steps_seen_{0};

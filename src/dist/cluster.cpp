@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -18,6 +19,7 @@
 #include "apex/trace.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/log.hpp"
 #include "common/stopwatch.hpp"
 #include "dist/serialize.hpp"
 
@@ -199,6 +201,15 @@ void cluster::initialize() {
   dt_ = opt_.sim.fixed_dt > 0 ? opt_.sim.fixed_dt : compute_dt();
   initialized_ = true;
   update_replicas();
+
+  // Arm the SDC auditor: seal the initial state so the very first step can
+  // already verify it was read back uncorrupted.
+  auditor_ = app::invariant_auditor(opt_.sim.audit);
+  sdc_audits_ = sdc_detected_ = sdc_retries_ = sdc_rollbacks_ = 0;
+  if (auditor_.enabled()) {
+    auditor_.resize(topo_->num_nodes());
+    sdc_seal_all();
+  }
 }
 
 void cluster::rebuild_channels() {
@@ -530,6 +541,9 @@ void cluster::hydro_stage(real dt, real ca, real cb) {
         [this, l, dt, ca, cb] {
           const apex::cost_scope cost(
               cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
+#if OCTO_EOS_GUARDS
+          hydro::eos_guard().leaf = static_cast<long>(l);
+#endif
           static thread_local hydro::workspace ws;
           static thread_local std::vector<real> dudt;
           dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -734,6 +748,9 @@ void cluster::step_graph(real dt) {
             const apex::scoped_trace_span span("dist.hydro.leaf");
             const apex::cost_scope cost(
                 cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
+#if OCTO_EOS_GUARDS
+            hydro::eos_guard().leaf = static_cast<long>(l);
+#endif
             static thread_local hydro::workspace ws;
             static thread_local std::vector<real> dudt;
             dudt.assign(static_cast<std::size_t>(hydro::dudt_size), 0);
@@ -1086,6 +1103,84 @@ void cluster::step_graph(real dt) {
   }
 }
 
+void cluster::step_attempt(real dt, double& exchange_s, double& gravity_s,
+                           double& hydro_s) {
+  exchange_s = gravity_s = hydro_s = 0;
+  const bool dataflow = opt_.sim.mode == app::step_mode::dataflow;
+
+  // Injection + pre-read verification: any at-rest flip since the last
+  // step's seals — injected or real — trips here, before the state is read.
+  sdc_apply_bitflips(steps_ + 1);
+  if (auditor_.enabled()) {
+    const apex::scoped_timer audit_t(app::sdc_metrics().audit_timer);
+    sdc_verify_all();
+  }
+
+  // Task-graph profiling: record the step's dataflow DAG whenever someone
+  // is looking (a trace or a metrics sink).  Off for plain runs, so the
+  // dataflow hot path stays one relaxed load.
+  const bool record_dag =
+      dataflow && (apex::trace::enabled() || metrics_ != nullptr);
+  if (dataflow) {
+    if (record_dag) apex::dag_recorder::instance().begin_step();
+    try {
+      step_graph(dt);
+    } catch (...) {
+      // step_graph drained before rethrowing, so ending the recording
+      // here is safe; the partial graph is discarded.
+      if (record_dag) (void)apex::dag_recorder::instance().end_step();
+      throw;
+    }
+    if (record_dag) {
+      last_crit_ = apex::analyze_critical_path(
+          apex::dag_recorder::instance().end_step());
+      apex::export_critical_path_counters(last_crit_);
+      have_crit_ = true;
+    }
+  } else {
+    step_barrier(dt, exchange_s, gravity_s, hydro_s);
+    // Re-evaluate the CFL condition on the evolved state (mirrors
+    // app::simulation::step(); dt_ previously stayed frozen at its
+    // initialize() value for the cluster's whole lifetime).
+    if (opt_.sim.fixed_dt <= 0) dt_ = compute_dt();
+  }
+
+  // Post-step audit (invariants at cadence) and fresh seals over the
+  // evolved state — retaken last, after every detector has passed, so a
+  // failed attempt leaves the pre-step seals intact.
+  if (auditor_.enabled()) {
+    const apex::scoped_timer audit_t(app::sdc_metrics().audit_timer);
+    sdc_audit_and_seal(dt_, steps_ + 1);
+    ++sdc_audits_;
+    apex::registry::instance().add(app::sdc_metrics().audits);
+  }
+}
+
+void cluster::sdc_retry(const cluster_snapshot& snap, real dt,
+                        double& exchange_s, double& gravity_s,
+                        double& hydro_s) {
+  ++sdc_retries_;
+  apex::registry::instance().add(app::sdc_metrics().retries);
+  try {
+    // Transient-error path: restore the in-memory pre-step snapshot and
+    // re-execute; a deterministic second execution must agree bitwise
+    // (dual-execution compare-vote) before the retry is trusted.
+    sdc_restore(snap);
+    step_attempt(dt, exchange_s, gravity_s, hydro_s);
+    const std::uint64_t ballot_a = sdc_state_signature();
+    sdc_restore(snap);
+    step_attempt(dt, exchange_s, gravity_s, hydro_s);
+    if (sdc_state_signature() != ballot_a)
+      throw app::sdc_detected(
+          "dual-execution compare-vote mismatch on retry — the two "
+          "re-executions disagree, escalating to checkpoint rollback");
+  } catch (const app::sdc_detected&) {
+    ++sdc_rollbacks_;
+    apex::registry::instance().add(app::sdc_metrics().rollbacks);
+    throw;
+  }
+}
+
 real cluster::step() {
   OCTO_CHECK_MSG(initialized_, "call initialize() first");
   const bool dataflow = opt_.sim.mode == app::step_mode::dataflow;
@@ -1104,37 +1199,22 @@ real cluster::step() {
   const real dt = dt_;
   double exchange_s = 0, gravity_s = 0, hydro_s = 0;
   const amt::runtime_stats rt_stats0 = space_.runtime().stats();
+  have_crit_ = false;
 
-  // Task-graph profiling: record the step's dataflow DAG whenever someone
-  // is looking (a trace or a metrics sink).  Off for plain runs, so the
-  // dataflow hot path stays one relaxed load.
-  const bool record_dag =
-      dataflow && (apex::trace::enabled() || metrics_ != nullptr);
-  apex::critical_path_result crit;
-  bool have_crit = false;
-
-  if (dataflow) {
-    if (record_dag) apex::dag_recorder::instance().begin_step();
+  if (auditor_.enabled()) {
+    const cluster_snapshot snap = sdc_take_snapshot();
     try {
-      step_graph(dt);
-    } catch (...) {
-      // step_graph drained before rethrowing, so ending the recording
-      // here is safe; the partial graph is discarded.
-      if (record_dag) (void)apex::dag_recorder::instance().end_step();
-      throw;
-    }
-    if (record_dag) {
-      crit = apex::analyze_critical_path(
-          apex::dag_recorder::instance().end_step());
-      apex::export_critical_path_counters(crit);
-      have_crit = true;
+      step_attempt(dt, exchange_s, gravity_s, hydro_s);
+    } catch (const app::sdc_detected&) {
+      ++sdc_detected_;
+      sdc_retry(snap, dt, exchange_s, gravity_s, hydro_s);
+      // A successful retry took extra wall time the adaptive heartbeat
+      // deadline never observed; don't let the next round misread the
+      // stall as a locality death.
+      monitor_.suspend_next_window();
     }
   } else {
-    step_barrier(dt, exchange_s, gravity_s, hydro_s);
-    // Re-evaluate the CFL condition on the evolved state (mirrors
-    // app::simulation::step(); dt_ previously stayed frozen at its
-    // initialize() value for the cluster's whole lifetime).
-    if (opt_.sim.fixed_dt <= 0) dt_ = compute_dt();
+    step_attempt(dt, exchange_s, gravity_s, hydro_s);
   }
 
   time_ += dt;
@@ -1179,15 +1259,19 @@ real cluster::step() {
   if (busy_ns > 0)
     rec.idle_fraction =
         static_cast<double>(rt_stats1.idle_ns - rt_stats0.idle_ns) / busy_ns;
-  if (have_crit) {
-    rec.crit_path_us = static_cast<double>(crit.length_ns) / 1000.0;
-    rec.crit_path_frac = crit.crit_path_frac();
-    rec.imbalance = crit.imbalance;
+  if (have_crit_) {
+    rec.crit_path_us = static_cast<double>(last_crit_.length_ns) / 1000.0;
+    rec.crit_path_frac = last_crit_.crit_path_frac();
+    rec.imbalance = last_crit_.imbalance;
   }
   rec.rebalance_count = rebalance_count_;
   if (cost_model_.active() && cost_model_.steps_observed() > 0)
     rec.max_over_mean = static_cast<double>(
         tree::cost_max_over_mean(*topo_, part_, cost_model_.costs()));
+  rec.sdc_audits = sdc_audits_;
+  rec.sdc_detected = sdc_detected_;
+  rec.sdc_retries = sdc_retries_;
+  rec.sdc_rollbacks = sdc_rollbacks_;
   rec.finalize();
   last_metrics_ = rec;
   if (metrics_ != nullptr) metrics_->emit(rec);
@@ -1218,6 +1302,14 @@ void cluster::restore_state(real time, std::int64_t step,
   dt_ = opt_.sim.fixed_dt > 0 ? opt_.sim.fixed_dt : compute_dt();
   // Last, so the checkpointed counters win over the restore exchange.
   stats_ = st;
+  // The restored fields are the trusted state now: retake the seals (the
+  // old ones described the pre-rollback state) and restart the drift
+  // history's warmup.  The containment retry re-restores its own history
+  // on top of this.
+  if (auditor_.enabled()) {
+    auditor_.reset_history();
+    sdc_seal_all();
+  }
 }
 
 app::ledger cluster::measure() const {
@@ -1231,6 +1323,121 @@ app::ledger cluster::measure() const {
   }
   if (opt_.sim.self_gravity) lg.pot_energy = grav_->potential_energy();
   return lg;
+}
+
+// ---------------------------------------------------------------------------
+// SDC containment (mirrors app::simulation; see app/invariants.hpp)
+// ---------------------------------------------------------------------------
+
+void cluster::sdc_seal_all() {
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  for (const index_t l : topo_->leaves())
+    futs.push_back(
+        amt::async([this, l] { auditor_.seal_leaf(l, grids_[l]); }, rt));
+  amt::wait_all(futs, rt);
+  if (opt_.sim.self_gravity) auditor_.seal_moments(grav_->moments_crc());
+}
+
+void cluster::sdc_verify_all() {
+  auto& rt = space_.runtime();
+  std::vector<amt::future<void>> futs;
+  for (const index_t l : topo_->leaves())
+    futs.push_back(
+        amt::async([this, l] { auditor_.verify_leaf(l, grids_[l]); }, rt));
+  // get_all, not wait_all: a seal mismatch must surface as sdc_detected.
+  amt::get_all(futs, rt);
+  if (opt_.sim.self_gravity && auditor_.moments_sealed())
+    auditor_.verify_moments(grav_->moments_crc());
+}
+
+void cluster::sdc_apply_bitflips(std::int64_t step) {
+  auto& inj = fault::injector::instance();
+  if (!inj.armed()) return;
+  fault::bitflip_plan plan;
+  const auto& leaves = topo_->leaves();
+  // Resolve a plan's (loc, leaf) to a concrete node: leaf index modulo the
+  // target locality's owned-leaf count, so the spec stays valid across
+  // partition changes (rebalance / shrink-on-failure).
+  const auto pick_leaf = [&](const fault::bitflip_plan& p) {
+    const int loc =
+        static_cast<int>(p.loc % static_cast<std::uint64_t>(
+                                     opt_.num_localities));
+    std::vector<index_t> owned;
+    for (const index_t l : leaves)
+      if (owner(l) == loc) owned.push_back(l);
+    const auto& pool = owned.empty() ? leaves : owned;
+    return pool[static_cast<std::size_t>(p.leaf % pool.size())];
+  };
+  if (inj.state_bitflip_hook(static_cast<std::uint64_t>(step), &plan)) {
+    const index_t l = pick_leaf(plan);
+    app::apply_state_bitflip(grids_[l], plan.field, plan.cell, plan.bit);
+    OCTO_LOG_WARN("fault: injected state bitflip at step "
+                  << step << " locality " << owner(l) << " leaf " << l
+                  << " field "
+                  << plan.field % static_cast<std::uint64_t>(grid::NFIELD)
+                  << " bit " << plan.bit % 64);
+  }
+  if (inj.moment_bitflip_hook(static_cast<std::uint64_t>(step), &plan) &&
+      opt_.sim.self_gravity) {
+    const index_t l = pick_leaf(plan);
+    grav_->apply_moment_bitflip(l, plan.field, plan.cell, plan.bit);
+    OCTO_LOG_WARN("fault: injected moment bitflip at step "
+                  << step << " node " << l);
+  }
+}
+
+cluster::cluster_snapshot cluster::sdc_take_snapshot() const {
+  cluster_snapshot snap;
+  const auto& leaves = topo_->leaves();
+  snap.sim.nodes.assign(leaves.begin(), leaves.end());
+  snap.sim.data.reserve(leaves.size());
+  for (const index_t l : leaves) snap.sim.data.push_back(grids_[l].raw());
+  snap.sim.time = time_;
+  snap.sim.dt = dt_;
+  snap.sim.steps = steps_;
+  snap.sim.history = auditor_.save_history();
+  snap.stats = stats_;
+  return snap;
+}
+
+void cluster::sdc_restore(const cluster_snapshot& snap) {
+  for (std::size_t i = 0; i < snap.sim.nodes.size(); ++i)
+    grids_[snap.sim.nodes[i]].raw() = snap.sim.data[i];
+  // restore_state re-exchanges ghosts, re-solves gravity and recomputes dt
+  // from the restored fields — bitwise identical to the pre-attempt state —
+  // and rolls the exchange statistics back so a retried step counts its
+  // slabs once.
+  restore_state(snap.sim.time, snap.sim.steps, snap.stats);
+  dt_ = snap.sim.dt;
+  auditor_.restore_history(snap.sim.history);
+}
+
+std::uint64_t cluster::sdc_state_signature() const {
+  std::uint64_t sig = 1469598103934665603ull;
+  const auto fold = [&sig](std::uint64_t v) {
+    sig = (sig ^ v) * 1099511628211ull;
+  };
+  for (const index_t l : topo_->leaves()) fold(auditor_.seal_of(l));
+  if (auditor_.moments_sealed()) fold(auditor_.moment_seal());
+  std::uint64_t dt_bits = 0;
+  static_assert(sizeof(real) == sizeof(dt_bits), "real must be 64-bit");
+  std::memcpy(&dt_bits, &dt_, sizeof(dt_bits));
+  fold(dt_bits);
+  return sig;
+}
+
+void cluster::sdc_audit_and_seal(real dt_next, std::int64_t step) {
+  if (auditor_.invariants_due(step)) {
+    auto& rt = space_.runtime();
+    std::vector<amt::future<void>> futs;
+    for (const index_t l : topo_->leaves())
+      futs.push_back(
+          amt::async([this, l] { auditor_.audit_leaf(l, grids_[l]); }, rt));
+    amt::get_all(futs, rt);
+    auditor_.audit_step(measure(), dt_next, step);
+  }
+  sdc_seal_all();
 }
 
 }  // namespace octo::dist

@@ -44,6 +44,7 @@
 
 #include "amt/channel.hpp"
 #include "apex/cost_model.hpp"
+#include "apex/critical_path.hpp"
 #include "apex/metrics.hpp"
 #include "app/simulation.hpp"
 #include "dist/recovery.hpp"
@@ -194,6 +195,16 @@ class cluster {
   real dt() const { return dt_; }
   int steps_taken() const { return steps_; }
 
+  /// The SDC auditor guarding this cluster (seals + physics invariants;
+  /// see app/invariants.hpp).  Inactive when options().sim.audit.enabled
+  /// is false.
+  const app::invariant_auditor& auditor() const { return auditor_; }
+  /// Cumulative SDC counters (mirrored into the metrics columns).
+  std::uint64_t sdc_audits() const { return sdc_audits_; }
+  std::uint64_t sdc_detections() const { return sdc_detected_; }
+  std::uint64_t sdc_retries() const { return sdc_retries_; }
+  std::uint64_t sdc_rollbacks() const { return sdc_rollbacks_; }
+
  private:
   /// One message through a boundary channel.
   struct boundary_msg {
@@ -217,6 +228,31 @@ class cluster {
   /// build order rethrown.
   void step_graph(real dt);
   int owner(index_t node) const { return part_.owner(node); }
+
+  // --- SDC containment (mirrors app::simulation; see app/invariants.hpp) --
+  /// Pre-step snapshot for the containment retry: leaf state + clock +
+  /// drift history, plus the exchange statistics a restore must roll back.
+  struct cluster_snapshot {
+    app::sdc_snapshot sim;
+    exchange_stats stats;
+  };
+  /// One execution attempt of the step: apply any armed bitflip, verify
+  /// the seals, run the physics, audit the result, retake the seals.
+  /// Throws sdc_detected on a tripped detector.
+  void step_attempt(real dt, double& exchange_s, double& gravity_s,
+                    double& hydro_s);
+  /// Retry a tripped step from \p snap with a dual-execution compare-vote;
+  /// rethrows sdc_detected (checkpoint-rollback escalation) when the retry
+  /// trips again or the two executions disagree.
+  void sdc_retry(const cluster_snapshot& snap, real dt, double& exchange_s,
+                 double& gravity_s, double& hydro_s);
+  cluster_snapshot sdc_take_snapshot() const;
+  void sdc_restore(const cluster_snapshot& snap);
+  void sdc_apply_bitflips(std::int64_t step);
+  void sdc_verify_all();
+  void sdc_audit_and_seal(real dt_next, std::int64_t step);
+  void sdc_seal_all();
+  std::uint64_t sdc_state_signature() const;
 
   /// Fresh boundary channels and a fresh transport epoch; old channels are
   /// closed first so stragglers (pending receives, delayed in-flight
@@ -280,6 +316,17 @@ class cluster {
 
   apex::metrics_sink* metrics_ = nullptr;
   apex::step_record last_metrics_{};
+
+  /// Silent-data-corruption defense (app/invariants.hpp).
+  app::invariant_auditor auditor_;
+  std::uint64_t sdc_audits_ = 0;
+  std::uint64_t sdc_detected_ = 0;
+  std::uint64_t sdc_retries_ = 0;
+  std::uint64_t sdc_rollbacks_ = 0;
+  /// Critical-path analysis of the most recent step_attempt's dataflow DAG
+  /// (member state so a retried attempt reports its own recording).
+  apex::critical_path_result last_crit_{};
+  bool have_crit_ = false;
 
   /// Distributed-trace state (set_trace_dir): output directory, configured
   /// per-locality skew, the live offset estimator (refined every step from

@@ -227,6 +227,14 @@ void cluster::recover_locality_failure(const std::vector<int>& dead,
   // ghosts/gravity), so don't let its heartbeat window kill a survivor.
   monitor_.suspend_next_window();
   update_replicas();
+  // Recovered fields (replica or checkpoint) are the trusted state now:
+  // retake the SDC seals so the next step's verify doesn't misread the
+  // restoration as corruption.  (The checkpoint path resealed inside
+  // restore_state already; the replica path must too.)
+  if (auditor_.enabled()) {
+    auditor_.reset_history();
+    sdc_seal_all();
+  }
   auto& reg = apex::registry::instance();
   reg.add(counters().localities_lost, dead.size());
   reg.add(counters().leaves_migrated, lost.size());

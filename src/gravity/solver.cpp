@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "amt/future.hpp"
 #include "apex/trace.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "exec/parallel.hpp"
 
@@ -1077,6 +1079,26 @@ real fmm_solver::total_mass() const {
     for (index_t c = 0; c < C3; ++c) m += nd.mom[mc_m * CP + c];
   }
   return m;
+}
+
+std::uint32_t fmm_solver::moments_crc() const {
+  std::uint32_t c = 0;
+  for (const auto& nd : nodes_)
+    c = crc32(nd.mom.data(), nd.mom.size() * sizeof(real), c);
+  return c;
+}
+
+void fmm_solver::apply_moment_bitflip(index_t node, std::uint64_t coeff,
+                                      std::uint64_t cell, std::uint64_t bit) {
+  auto& mom = nodes_[node].mom;
+  real& v = mom[static_cast<std::size_t>(coeff % NMOM) * CP +
+                static_cast<std::size_t>(cell % static_cast<std::uint64_t>(
+                                                    C3))];
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(real));
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits ^= std::uint64_t(1) << (bit % 64);
+  std::memcpy(&v, &bits, sizeof(bits));
 }
 
 // ---------------------------------------------------------------------------

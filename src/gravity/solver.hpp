@@ -127,6 +127,17 @@ class fmm_solver {
     return nodes_[node].exp;
   }
 
+  /// CRC-32 chained over every node's moment array — the SDC auditor's
+  /// moment seal, taken after a solve and re-verified before the moments
+  /// are next read or overwritten.
+  std::uint32_t moments_crc() const;
+
+  /// Flip one bit of node \p node's moment component (\p coeff mod NMOM)
+  /// at cell (\p cell mod C3) — the OCTO_FAULT_MOMENT_BITFLIP injection
+  /// point, modeling a soft error at rest in the multipole data.
+  void apply_moment_bitflip(index_t node, std::uint64_t coeff,
+                            std::uint64_t cell, std::uint64_t bit);
+
  private:
   struct node_data {
     std::vector<real> mom;  ///< NMOM x CP moments

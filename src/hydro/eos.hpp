@@ -9,9 +9,62 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
+// Non-finite input guards on the EOS entry points.  On by default in debug
+// builds; define OCTO_EOS_GUARDS=1 to force them into an optimized "audit"
+// build.  A guarded entry point raises a diagnosable octo::error naming the
+// leaf/cell the calling kernel registered via eos_guard(), instead of
+// letting a NaN propagate silently through the RK stages.
+#ifndef OCTO_EOS_GUARDS
+#ifdef NDEBUG
+#define OCTO_EOS_GUARDS 0
+#else
+#define OCTO_EOS_GUARDS 1
+#endif
+#endif
+
 namespace octo::hydro {
+
+/// Thread-local provenance for EOS guard diagnostics: the per-leaf kernels
+/// record which leaf (and, inside per-cell loops, which cell) is being
+/// processed, so a tripped guard can name the corrupted location.
+struct eos_guard_site {
+  long leaf = -1;
+  int i = 0;
+  int j = 0;
+  int k = 0;
+};
+
+inline eos_guard_site& eos_guard() {
+  static thread_local eos_guard_site site;
+  return site;
+}
+
+namespace detail {
+[[noreturn]] inline void eos_reject(const char* fn, const char* arg,
+                                    real v) {
+  const eos_guard_site& s = eos_guard();
+  throw error("eos: non-finite " + std::string(arg) + " = " +
+              std::to_string(static_cast<double>(v)) + " passed to " + fn +
+              (s.leaf >= 0 ? " at leaf " + std::to_string(s.leaf) +
+                                 " cell (" + std::to_string(s.i) + ", " +
+                                 std::to_string(s.j) + ", " +
+                                 std::to_string(s.k) + ")"
+                           : std::string(" (no leaf context registered)")));
+}
+
+inline void eos_check(const char* fn, const char* arg, real v) {
+  if (!std::isfinite(static_cast<double>(v))) eos_reject(fn, arg, v);
+}
+}  // namespace detail
+
+#if OCTO_EOS_GUARDS
+#define OCTO_EOS_GUARD(fn, v) ::octo::hydro::detail::eos_check(fn, #v, v)
+#else
+#define OCTO_EOS_GUARD(fn, v) ((void)0)
+#endif
 
 struct ideal_gas {
   real gamma = real(5) / 3;
@@ -21,15 +74,26 @@ struct ideal_gas {
   real rho_floor = real(1e-15);
   real eint_floor = real(1e-20);
 
-  real pressure(real eint) const { return (gamma - 1) * eint; }
+  real pressure(real eint) const {
+    OCTO_EOS_GUARD("pressure", eint);
+    return (gamma - 1) * eint;
+  }
 
   real sound_speed(real rho, real p) const {
+    OCTO_EOS_GUARD("sound_speed", rho);
+    OCTO_EOS_GUARD("sound_speed", p);
     return std::sqrt(gamma * p / rho);
   }
 
   /// Internal energy density from conserved state (dual-energy selection).
   real internal_energy(real rho, real sx, real sy, real sz, real egas,
                        real tau) const {
+    OCTO_EOS_GUARD("internal_energy", rho);
+    OCTO_EOS_GUARD("internal_energy", sx);
+    OCTO_EOS_GUARD("internal_energy", sy);
+    OCTO_EOS_GUARD("internal_energy", sz);
+    OCTO_EOS_GUARD("internal_energy", egas);
+    OCTO_EOS_GUARD("internal_energy", tau);
     const real ke = real(0.5) * (sx * sx + sy * sy + sz * sz) / rho;
     const real e1 = egas - ke;
     if (e1 > energy_switch * egas && e1 > eint_floor) return e1;
@@ -39,6 +103,7 @@ struct ideal_gas {
 
   /// tau consistent with the given internal energy.
   real tau_from_eint(real eint) const {
+    OCTO_EOS_GUARD("tau_from_eint", eint);
     return std::pow(eint > eint_floor ? eint : eint_floor, real(1) / gamma);
   }
 };

@@ -440,6 +440,11 @@ void apply_floors_and_sync_tau(subgrid& u, const ideal_gas& gas) {
   for (int i = 0; i < N; ++i)
     for (int j = 0; j < N; ++j)
       for (int k = 0; k < N; ++k) {
+#if OCTO_EOS_GUARDS
+        eos_guard().i = i;
+        eos_guard().j = j;
+        eos_guard().k = k;
+#endif
         const index_t c = subgrid::idx(i, j, k);
         real& rho = u.field_data(grid::f_rho)[c];
         if (rho < gas.rho_floor) rho = gas.rho_floor;

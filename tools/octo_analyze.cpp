@@ -9,6 +9,10 @@
 /// Files are classified by extension (.jsonl = metrics, anything else =
 /// Chrome trace) or forced with --trace / --metrics.  All of the real work
 /// lives in apex/analyze.hpp so the test suite drives the same code paths.
+///
+/// The metrics summary includes the SDC counters (sdc_audits/detected/
+/// retries/rollbacks); a run whose final sdc_detected is nonzero always
+/// fails a --baseline gate regardless of the threshold.
 
 #include <cstdlib>
 #include <cstring>
