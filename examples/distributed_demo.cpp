@@ -68,9 +68,9 @@ int main(int argc, char** argv) {
   int kill_loc = cfg.get("kill_loc", -1);
   int kill_step = cfg.get("kill_step", 1);
   if (kill_loc < 0) {
-    if (const char* env = std::getenv("OCTO_FAULT_LOCALITY_KILL")) {
+    if (const auto env = octo::config::env("OCTO_FAULT_LOCALITY_KILL")) {
       unsigned long long s = 1;
-      if (std::sscanf(env, "%d:%llu", &kill_loc, &s) >= 1)
+      if (std::sscanf(env->c_str(), "%d:%llu", &kill_loc, &s) >= 1)
         kill_step = static_cast<int>(s);
     }
   }

@@ -40,6 +40,7 @@
 #include "amt/unique_function.hpp"
 #include "apex/apex.hpp"
 #include "apex/dag.hpp"
+#include "apex/race_audit.hpp"
 #include "apex/trace.hpp"
 #include "common/error.hpp"
 
@@ -561,9 +562,11 @@ inline std::exception_ptr first_dep_error(
 /// into the node's private slot and are ordered by the scheduler's own
 /// happens-before chain (registration -> last decrement -> post -> run),
 /// so the recording adds no synchronization of its own.
+namespace detail {
+
 template <typename F>
-auto dataflow(const char* name, F&& f, std::vector<shared_future<void>> deps,
-              runtime& rt = runtime::global())
+auto dataflow_node(const char* name, apex::access_set* fp, F&& f,
+                   std::vector<shared_future<void>> deps, runtime& rt)
     -> future<std::invoke_result_t<F>> {
   using R = std::invoke_result_t<F>;
   // Drop invalid edges up front so the join counter is exact.
@@ -637,7 +640,12 @@ auto dataflow(const char* name, F&& f, std::vector<shared_future<void>> deps,
         name, ns->done.state().get(), dep_states.data(), dep_states.size());
     // Baseline: overwritten in fire() (which happens-after this write via
     // the continuation registrations below).
-    if (ns->dag != nullptr) ns->dag->ready_ns = apex::trace::now_ns();
+    if (ns->dag != nullptr) {
+      ns->dag->ready_ns = apex::trace::now_ns();
+      // Declared footprint for the race audit; the slot is private until
+      // end_step(), so a plain move is safe here.
+      if (fp != nullptr) ns->dag->footprint = fp->take();
+    }
   }
 
   bool deferred = false;
@@ -654,6 +662,30 @@ auto dataflow(const char* name, F&& f, std::vector<shared_future<void>> deps,
   // already satisfied (or the list was empty).
   if (ns->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) ns->fire();
   return result;
+}
+
+}  // namespace detail
+
+template <typename F>
+auto dataflow(const char* name, F&& f, std::vector<shared_future<void>> deps,
+              runtime& rt = runtime::global())
+    -> future<std::invoke_result_t<F>> {
+  return detail::dataflow_node(name, nullptr, std::forward<F>(f),
+                               std::move(deps), rt);
+}
+
+/// Footprint-annotated dataflow: like the named overload, but attaches the
+/// task's declared read/write regions to the recorded dag node so
+/// apex/race_audit.hpp can verify every conflicting pair of tasks is
+/// ordered by the graph.  The access_set builds nothing (and this costs
+/// nothing extra) unless a dag recording is active.
+template <typename F>
+auto dataflow(const char* name, apex::access_set fp, F&& f,
+              std::vector<shared_future<void>> deps,
+              runtime& rt = runtime::global())
+    -> future<std::invoke_result_t<F>> {
+  return detail::dataflow_node(name, &fp, std::forward<F>(f), std::move(deps),
+                               rt);
 }
 
 /// Unnamed dataflow: same scheduling, profiled under the generic "task"
@@ -690,27 +722,40 @@ inline future<void> when_all(std::vector<shared_future<void>> deps,
   // Profile pure joins as zero-duration "join" nodes so dependency chains
   // that pass through them stay connected in the recorded graph.
   apex::dag_node* dag = nullptr;
+  std::uint64_t dag_epoch = 0;
   if (apex::dag_recorder::enabled()) {
     std::vector<const void*> dep_states;
     dep_states.reserve(deps.size());
     for (const auto& d : deps) dep_states.push_back(d.state().get());
-    dag = apex::dag_recorder::instance().on_create(
+    auto& rec = apex::dag_recorder::instance();
+    dag = rec.on_create(
         "join", js->done.state().get(), dep_states.data(), dep_states.size());
+    dag_epoch = rec.epoch();
     if (dag != nullptr)
       dag->ready_ns = dag->start_ns = dag->end_ns = apex::trace::now_ns();
   }
 
   for (auto& d : deps) {
-    d.state()->add_continuation([js, dag] {
+    d.state()->add_continuation([js, dag, dag_epoch] {
       if (js->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        if (dag != nullptr) {
+        // A join's result may be a pure forward edge nothing in this step
+        // awaits (the solver's free-edges feed the *next* step's zeroing),
+        // so this can run concurrently with dag_recorder::end_step();
+        // revalidate the slot under the recorder's writer pin.
+        auto& rec = apex::dag_recorder::instance();
+        const bool pinned = dag != nullptr && rec.pin(dag_epoch);
+        if (pinned) {
           dag->ready_ns = dag->start_ns = dag->end_ns = apex::trace::now_ns();
           dag->worker = -1;  // resolved inline on the last producer
         }
         if (auto e = detail::first_dep_error(js->deps)) {
-          if (dag != nullptr) dag->failed = true;
+          if (pinned) {
+            dag->failed = true;
+            rec.unpin();
+          }
           js->done.set_exception(e);
         } else {
+          if (pinned) rec.unpin();
           js->done.set_value();
         }
       }

@@ -10,6 +10,76 @@
 
 namespace octo::apex {
 
+// Every counter/timer name registered from src/, one entry per line in
+// the exact form  {"name", "doc"},  — octo_lint and the schema-sync test
+// parse this table textually.  Names ending in '*' are dynamic prefixes.
+const std::vector<metric_name_info>& metric_registry() {
+  static const std::vector<metric_name_info> table = {
+      {"amt.tasks_deferred", "dataflow tasks whose deps were not all ready"},
+      {"amt.continuations_inline", "continuations run inline (deps ready)"},
+      {"amt.tasks_executed", "tasks run by the worker pool"},
+      {"amt.steals", "successful work steals"},
+      {"amt.failed_steals", "steal attempts that found nothing"},
+      {"amt.external_posts", "tasks posted from non-worker threads"},
+      {"amt.helping_runs", "tasks run by a blocked waiter (helping)"},
+      {"amt.worker_idle_us", "cumulative worker idle time"},
+      {"amt.queue_high_water", "max per-worker queue depth seen"},
+      {"amt.max_pending", "max in-flight task count seen"},
+      {"app.exchange_ghosts", "ghost-exchange phase wall time"},
+      {"app.solve_gravity", "gravity-solve phase wall time"},
+      {"app.hydro_stage", "hydro RK-stage wall time"},
+      {"app.step", "whole-step wall time"},
+      {"app.steps", "simulation steps completed"},
+      {"ckpt.write", "checkpoint serialize+write wall time"},
+      {"ckpt.restore", "checkpoint restore wall time"},
+      {"ckpt.rollbacks", "restores forced by a failed step"},
+      {"ckpt.written", "checkpoints written"},
+      {"dag.crit_path_us", "recorded-step critical path length"},
+      {"dag.nodes", "recorded dataflow nodes per step"},
+      {"dag.edges", "recorded dataflow edges per step"},
+      {"dag.crit.*", "per-kernel-class time on the critical path"},
+      {"dist.local_direct_slabs", "ghost slabs passed by pointer"},
+      {"dist.local_serialized_slabs", "ghost slabs serialized locally"},
+      {"dist.remote_messages", "ghost slabs sent via the transport"},
+      {"dist.bytes_serialized", "ghost bytes serialized"},
+      {"fault.injected", "faults injected by the fault plan"},
+      {"lb.rebalances", "load rebalances performed"},
+      {"lb.leaves_moved", "leaves migrated by rebalancing"},
+      {"lb.skipped", "rebalance opportunities below threshold"},
+      {"lb.rebalance", "rebalance wall time"},
+      {"lb.cost_steps", "steps folded into the measured cost model"},
+      {"race.audits", "dataflow steps audited for unordered conflicts"},
+      {"race.conflicts", "unordered conflicting task pairs detected"},
+      {"recovery.localities_lost", "locality failures recovered from"},
+      {"recovery.leaves_migrated", "leaves re-homed during recovery"},
+      {"recovery.recover", "recovery wall time"},
+      {"sdc.audits", "invariant audits executed"},
+      {"sdc.detected", "invariant violations detected"},
+      {"sdc.retries", "step retries after a detected violation"},
+      {"sdc.rollbacks", "checkpoint rollbacks after repeated violations"},
+      {"sdc.audit", "invariant audit wall time"},
+      {"transport.messages", "messages sent by the in-process transport"},
+      {"transport.retries", "message retransmissions"},
+      {"transport.timeouts", "ack timeouts"},
+      {"transport.dups_dropped", "duplicate deliveries dropped"},
+      {"transport.acks", "acks delivered"},
+      {"transport.epoch_dropped", "stale-epoch messages dropped"},
+  };
+  return table;
+}
+
+bool metric_registered(const std::string& name) {
+  for (const auto& e : metric_registry()) {
+    const std::string entry = e.name;
+    if (!entry.empty() && entry.back() == '*') {
+      if (name.rfind(entry.substr(0, entry.size() - 1), 0) == 0) return true;
+    } else if (name == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
 registry& registry::instance() {
   static registry r;
   return r;

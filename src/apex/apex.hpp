@@ -38,6 +38,24 @@ namespace octo::apex {
 /// Identifier of a registered timer or counter.
 using metric_id = int;
 
+/// One declared metric name (see metric_registry below).
+struct metric_name_info {
+  const char* name;  ///< exact name, or a prefix ending in '*'
+  const char* doc;   ///< one-line description
+};
+
+/// Central declaration table for every apex counter/timer name used in
+/// src/.  `octo_lint` parses this table textually (one `{"name", "doc"},`
+/// entry per line in apex.cpp) and flags any `registry::counter("...")` /
+/// `registry::timer("...")` call site in src/ whose name is absent.
+/// Entries ending in '*' declare a dynamic-name prefix (e.g. the per-class
+/// critical-path counters).
+const std::vector<metric_name_info>& metric_registry();
+
+/// True when \p name matches a registry entry (exact, or prefix for '*'
+/// entries).
+bool metric_registered(const std::string& name);
+
 /// Process-wide registry + accumulator.  Thread-safe: registration takes a
 /// mutex, sampling is lock-free.
 class registry {

@@ -1,5 +1,7 @@
 #include "apex/dag.hpp"
 
+#include <thread>
+
 namespace octo::apex {
 
 std::atomic<bool>& dag_recorder::enabled_flag() {
@@ -14,6 +16,7 @@ dag_recorder& dag_recorder::instance() {
 
 void dag_recorder::begin_step() {
   const std::lock_guard<std::mutex> lock(mutex_);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);  // invalidate stale pins
   nodes_.clear();
   state_index_.clear();
   enabled_flag().store(true, std::memory_order_relaxed);
@@ -21,12 +24,31 @@ void dag_recorder::begin_step() {
 
 graph_profile dag_recorder::end_step() {
   enabled_flag().store(false, std::memory_order_relaxed);
+  // Close the epoch, then wait out deferred writers that pinned before the
+  // bump: after this loop no continuation can touch a node slot (new pins
+  // see the stale epoch and fail), so freeing the deque is safe.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  while (pinned_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
   const std::lock_guard<std::mutex> lock(mutex_);
   graph_profile g;
   g.nodes.assign(nodes_.begin(), nodes_.end());
   nodes_.clear();
   state_index_.clear();
   return g;
+}
+
+bool dag_recorder::pin(std::uint64_t epoch) {
+  pinned_.fetch_add(1, std::memory_order_acq_rel);
+  if (epoch_.load(std::memory_order_acquire) != epoch) {
+    pinned_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void dag_recorder::unpin() {
+  pinned_.fetch_sub(1, std::memory_order_release);
 }
 
 dag_node* dag_recorder::on_create(const char* cls, const void* out_state,

@@ -36,6 +36,34 @@
 
 namespace octo::apex {
 
+/// Memory-region kinds a task footprint can name (see apex/race_audit.hpp
+/// for the audit that consumes them).  `node` scopes each kind to one
+/// octree node (or link/reduction ordinal); `part` subdivides a region
+/// when different tasks write disjoint pieces (ghost directions, M2L
+/// interaction chunks, per-stage message slots).
+enum class rgn : std::uint8_t {
+  field,      ///< a node's evolved sub-grid cells
+  ghost,      ///< a leaf's ghost shell; part = direction
+  stage0,     ///< a leaf's RK u0 snapshot
+  moment,     ///< a node's multipole moments
+  expansion,  ///< a node's local expansion; part = M2L interaction chunk
+  gout,       ///< a leaf's gravity output (acceleration/potential)
+  fcbuf,      ///< a leaf's refinement-boundary force-correction buffer
+  slot,       ///< a ghost-exchange message slot; node = link ordinal
+  dtred,      ///< the dt reduction; node = leaf ordinal
+};
+
+/// `part` value that overlaps every part of a region.
+inline constexpr std::int32_t any_part = -1;
+
+/// One declared read or write of a region.
+struct mem_access {
+  rgn region = rgn::field;
+  bool write = false;
+  std::int32_t node = 0;        ///< tree node index / link / ordinal
+  std::int32_t part = any_part;
+};
+
 /// One recorded dataflow task node.
 struct dag_node {
   const char* cls = "task";   ///< kernel class (static-duration string)
@@ -46,6 +74,9 @@ struct dag_node {
   std::int32_t worker = -1;   ///< executing worker index (-1: external)
   bool failed = false;        ///< resolved with an exception
   std::vector<std::uint32_t> deps;  ///< producer node ids
+  /// Declared read/write footprint (empty unless the call site attached an
+  /// access_set; consumed by apex/race_audit.hpp).
+  std::vector<mem_access> footprint;
 };
 
 /// A drained step's task graph (nodes in creation = topological order).
@@ -79,6 +110,24 @@ class dag_recorder {
   dag_node* on_create(const char* cls, const void* out_state,
                       const void* const* dep_states, std::size_t ndeps);
 
+  /// Epoch of the recording that is (or was) open; bumped by both
+  /// begin_step() and end_step().  A deferred writer — a continuation that
+  /// still holds a `dag_node*` after the step's awaited futures resolved
+  /// (e.g. a pure `when_all` join whose result is only consumed by the
+  /// *next* step, like the solver's free-edges) — captures this at node
+  /// creation and revalidates with pin() before touching the slot.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Writer guard for continuation-context slot writes.  Returns true and
+  /// holds the slot alive iff \p epoch's recording is still open; the
+  /// caller must unpin() after its plain stores.  end_step() bumps the
+  /// epoch first and then drains pinned writers before freeing slots, so
+  /// a successful pin means the write cannot race the free.
+  bool pin(std::uint64_t epoch);
+  void unpin();
+
  private:
   dag_recorder() = default;
   static std::atomic<bool>& enabled_flag();
@@ -86,6 +135,8 @@ class dag_recorder {
   std::mutex mutex_;  ///< guards nodes_ growth and the state index
   std::deque<dag_node> nodes_;  ///< deque: slots never move
   std::unordered_map<const void*, std::uint32_t> state_index_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> pinned_{0};  ///< in-flight deferred writers
 };
 
 }  // namespace octo::apex

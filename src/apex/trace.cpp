@@ -9,6 +9,28 @@
 #include <ostream>
 #include <vector>
 
+// __lsan_ignore_object only exists when the leak-sanitizer runtime is
+// linked in (ASan builds), so gate on the compiler's ASan macro, not
+// just on header availability.
+#if defined(__SANITIZE_ADDRESS__)
+#define OCTO_HAS_LSAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OCTO_HAS_LSAN 1
+#endif
+#endif
+#ifndef OCTO_HAS_LSAN
+#define OCTO_HAS_LSAN 0
+#endif
+#if OCTO_HAS_LSAN && __has_include(<sanitizer/lsan_interface.h>)
+#include <sanitizer/lsan_interface.h>
+#else
+#undef OCTO_HAS_LSAN
+#define OCTO_HAS_LSAN 0
+#endif
+
+#include "common/config.hpp"
+
 namespace octo::apex {
 
 namespace {
@@ -95,19 +117,24 @@ std::chrono::steady_clock::time_point trace::epoch() {
 
 trace::trace() : impl_(new impl) {
   (void)epoch();  // pin the epoch at first instance() call
-  if (const char* cap = std::getenv("OCTO_TRACE_BUFFER")) {
-    const long v = std::strtol(cap, nullptr, 10);
+  if (const auto cap = config::env("OCTO_TRACE_BUFFER")) {
+    const long v = std::strtol(cap->c_str(), nullptr, 10);
     if (v > 0) impl_->capacity = static_cast<std::size_t>(v);
   }
-  if (const char* path = std::getenv("OCTO_TRACE")) {
-    if (path[0] != '\0') enable(path);
-  }
+  if (const auto path = config::env("OCTO_TRACE")) enable(*path);
 }
 
 trace& trace::instance() {
   // Leaked on purpose: worker threads may still record during static
   // destruction; the atexit writer below runs before that teardown.
-  static trace* t = new trace();
+  // LSan would flag it, so declare the leak deliberate.
+  static trace* t = [] {
+    trace* fresh = new trace();
+#if OCTO_HAS_LSAN
+    __lsan_ignore_object(fresh);
+#endif
+    return fresh;
+  }();
   return *t;
 }
 

@@ -6,21 +6,21 @@
 #include <sstream>
 
 #include "app/simulation.hpp"
+#include "common/config.hpp"
 #include "common/crc32.hpp"
 #include "grid/field.hpp"
 
 namespace octo::app {
 
 bool audit_options::default_audit_enabled() {
-  const char* v = std::getenv("OCTO_AUDIT");
-  if (v == nullptr || *v == '\0') return true;
-  return !(v[0] == '0' && v[1] == '\0');
+  const auto v = config::env("OCTO_AUDIT");
+  return !v || *v != "0";
 }
 
 int audit_options::default_audit_every() {
-  const char* v = std::getenv("OCTO_AUDIT_EVERY");
-  if (v == nullptr || *v == '\0') return 4;
-  const long e = std::strtol(v, nullptr, 10);
+  const auto v = config::env("OCTO_AUDIT_EVERY");
+  if (!v) return 4;
+  const long e = std::strtol(v->c_str(), nullptr, 10);
   return e > 0 ? static_cast<int>(e) : 4;
 }
 

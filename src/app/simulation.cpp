@@ -8,6 +8,7 @@
 #include "apex/apex.hpp"
 #include "apex/critical_path.hpp"
 #include "apex/dag.hpp"
+#include "apex/race_audit.hpp"
 #include "apex/trace.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
@@ -25,6 +26,14 @@ step_mode default_step_mode() {
     return (v && *v == "dataflow") ? step_mode::dataflow : step_mode::barrier;
   }();
   return mode;
+}
+
+bool default_audit_races() {
+  static const bool on = [] {
+    const auto v = config::env("OCTO_RACE_AUDIT");
+    return v && *v != "0";
+  }();
+  return on;
 }
 
 simulation::simulation(const scen::scenario& sc, sim_options opt,
@@ -316,7 +325,9 @@ void simulation::step_graph(real dt) {
   std::vector<sf> snap(nn);
   for (const index_t l : leaves)
     snap[static_cast<std::size_t>(l)] = track(amt::dataflow(
-        "snapshot", [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+        "snapshot",
+        apex::access_set{}.r(apex::rgn::field, l).w(apex::rgn::stage0, l),
+        [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
         std::vector<sf>{}, rt));
 
   // Per-stage edges of the previous RK stage (WAR/WAW hazards).
@@ -357,8 +368,13 @@ void simulation::step_graph(real dt) {
           deps.push_back(prevP[static_cast<std::size_t>(f)]);
         if (prevD[li].valid()) deps.push_back(prevD[li]);
       }
+      apex::access_set hfp;
+      hfp.w(apex::rgn::field, l)
+          .r(apex::rgn::ghost, l)
+          .r(apex::rgn::stage0, l);
+      if (opt_.self_gravity) hfp.r(apex::rgn::gout, l);
       H[li] = track(amt::dataflow(
-          "hydro-RK", [this, l, dt, ca, cb] {
+          "hydro-RK", std::move(hfp), [this, l, dt, ca, cb] {
             const apex::scoped_trace_span span("app.hydro.leaf");
             const apex::cost_scope cost(
                 cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
@@ -411,8 +427,12 @@ void simulation::step_graph(real dt) {
           for (const index_t f : pclients[ni])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         }
+        apex::access_set rfp;
+        rfp.w(apex::rgn::field, n);
+        for (int oct = 0; oct < NCHILD; ++oct)
+          rfp.r(apex::rgn::field, topo_->node(n).children[oct]);
         R[ni] = track(amt::dataflow(
-            "restrict", [this, n] {
+            "restrict", std::move(rfp), [this, n] {
               const apex::scoped_trace_span span("app.exchange.restrict");
               const auto& nd2 = topo_->node(n);
               for (int oct = 0; oct < NCHILD; ++oct)
@@ -442,8 +462,20 @@ void simulation::step_graph(real dt) {
         for (const index_t f : pclients[ni])
           deps.push_back(prevP[static_cast<std::size_t>(f)]);  // WAR
       }
+      apex::access_set cfp;
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(n, d);
+        if (nb != tree::invalid_node) {
+          cfp.r(apex::rgn::field, nb).w(apex::rgn::ghost, n, d);
+        } else {
+          const auto ncode = tree::code_neighbor(topo_->node(n).code,
+                                                 tree::directions()[d]);
+          if (!ncode)  // outflow fill reads the node's own interior
+            cfp.r(apex::rgn::field, n).w(apex::rgn::ghost, n, d);
+        }
+      }
       C[ni] = track(amt::dataflow(
-          "copy", [this, n] {
+          "copy", std::move(cfp), [this, n] {
             const apex::scoped_trace_span span("app.exchange.copy");
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(n, d);
@@ -476,8 +508,16 @@ void simulation::step_graph(real dt) {
         if (s > 0)
           for (const index_t f : pclients[li])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);  // WAR
+        apex::access_set pfp;
+        for (const index_t h : phosts[li])
+          pfp.r(apex::rgn::field, h).r(apex::rgn::ghost, h);
+        for (int d = 0; d < NNEIGHBOR; ++d) {
+          if (topo_->node(l).neighbors[d] != tree::invalid_node) continue;
+          if (topo_->neighbor_or_coarser(l, d) != tree::invalid_node)
+            pfp.w(apex::rgn::ghost, l, d);
+        }
         P[li] = track(amt::dataflow(
-            "prolong", [this, l] {
+            "prolong", std::move(pfp), [this, l] {
               const apex::scoped_trace_span span("app.exchange.prolong");
               const auto& nd = topo_->node(l);
               for (int d = 0; d < NNEIGHBOR; ++d) {
@@ -502,7 +542,9 @@ void simulation::step_graph(real dt) {
         deps.push_back(H[li]);
         if (have_gprev) deps.push_back(gprev.mom_free[li]);
         D[li] = track(amt::dataflow(
-            "set-density", [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
+            "set-density",
+            apex::access_set{}.r(apex::rgn::field, l).w(apex::rgn::moment, l),
+            [this, l] { grav_->set_leaf_from_subgrid(l, grids_[l]); },
             std::move(deps), rt));
         mom_ready[li] = D[li];
       }
@@ -532,7 +574,12 @@ void simulation::step_graph(real dt) {
       deps.push_back(prevC[li]);
       if (prevP[li].valid()) deps.push_back(prevP[li]);
       all.push_back(sf(amt::dataflow(
-          "dt-reduce", [this, l, i, &vmax_slots] {
+          "dt-reduce",
+          apex::access_set{}
+              .r(apex::rgn::field, l)
+              .r(apex::rgn::ghost, l)
+              .w(apex::rgn::dtred, static_cast<index_t>(i)),
+          [this, l, i, &vmax_slots] {
             vmax_slots[i] =
                 hydro::max_signal_speed(grids_[l], opt_.hydro) /
                 topo_->cell_width(l);
@@ -563,11 +610,13 @@ void simulation::step_attempt(real dt) {
   }
 
   // Record the step's task graph only when someone is observing (a trace
-  // sink or a metrics sink): dataflow's hot path stays one relaxed load
-  // otherwise.
+  // sink, a metrics sink, or the race auditor): dataflow's hot path stays
+  // one relaxed load otherwise.
+  const bool audit_dag =
+      opt_.mode == step_mode::dataflow && opt_.audit_races;
   const bool record_dag =
       opt_.mode == step_mode::dataflow &&
-      (apex::trace::enabled() || metrics_ != nullptr);
+      (apex::trace::enabled() || metrics_ != nullptr || audit_dag);
   if (opt_.mode == step_mode::dataflow) {
     if (record_dag) apex::dag_recorder::instance().begin_step();
     try {
@@ -579,8 +628,10 @@ void simulation::step_attempt(real dt) {
       throw;
     }
     if (record_dag) {
-      last_crit_ = apex::analyze_critical_path(
-          apex::dag_recorder::instance().end_step());
+      const apex::graph_profile graph =
+          apex::dag_recorder::instance().end_step();
+      if (audit_dag) apex::audit_step_or_throw(graph);
+      last_crit_ = apex::analyze_critical_path(graph);
       apex::export_critical_path_counters(last_crit_);
       have_crit_ = true;
     }

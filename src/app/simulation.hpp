@@ -41,6 +41,10 @@ enum class step_mode { barrier, dataflow };
 /// (unset or unrecognized -> barrier).
 step_mode default_step_mode();
 
+/// Default for sim_options::audit_races: OCTO_RACE_AUDIT=1 (anything but
+/// "0" enables when set).
+bool default_audit_races();
+
 struct sim_options {
   int max_level = 2;
   real cfl = real(0.4);
@@ -57,6 +61,11 @@ struct sim_options {
   real rho_refine = real(1e-3);
   /// Step execution mode (see step_mode; default honors OCTO_STEP_MODE).
   step_mode mode = default_step_mode();
+  /// Dataflow-mode race auditing (see apex/race_audit.hpp): record each
+  /// step's task graph + declared footprints and verify every conflicting
+  /// pair is happens-before ordered, throwing on the first unordered
+  /// conflict.  No effect in barrier mode.  Default honors OCTO_RACE_AUDIT.
+  bool audit_races = default_audit_races();
   /// Measure per-leaf hydro wall time into a leaf_cost_model (EWMA across
   /// steps) — the single-locality view of the cost signal dist::cluster's
   /// dynamic rebalancing partitions on.  Off: the per-task overhead is one

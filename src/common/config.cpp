@@ -49,7 +49,48 @@ config config::from_file(const std::string& path) {
   return c;
 }
 
+// The OCTO_* environment-variable registry.  Keep one `{"OCTO_...", "doc"}`
+// entry per line: tools/octo_lint and the EXPERIMENTS.md schema-sync test
+// (tests/lint_test.cpp) both parse this block textually.
+const std::vector<env_var_info>& config::env_registry() {
+  static const std::vector<env_var_info> table = {
+      {"OCTO_STEP_MODE", "step execution mode: barrier (default) or dataflow"},
+      {"OCTO_RACE_AUDIT", "1 = audit each recorded dataflow step for unordered conflicting task footprints (apex/race_audit.hpp)"},
+      {"OCTO_RACE_AUDIT_DUMP", "path: dump each audited step's task graph + footprints as JSON for octo_analyze --race-audit"},
+      {"OCTO_TRACE", "trace sink: file path, or existing directory for the per-locality distributed bundle"},
+      {"OCTO_TRACE_BUFFER", "per-thread trace ring capacity in events"},
+      {"OCTO_TRACE_SKEW_US", "injected per-locality clock skew for trace merging, microseconds"},
+      {"OCTO_METRICS", "per-step metrics JSONL output path (examples read it via merge_env)"},
+      {"OCTO_AUDIT", "silent-data-corruption auditing: 0 disables (default on)"},
+      {"OCTO_AUDIT_EVERY", "physics-invariant audit cadence in steps (default 4)"},
+      {"OCTO_FAULT_SEED", "fault injector RNG seed (splitmix64 stream)"},
+      {"OCTO_FAULT_GHOST_CORRUPT", "bit-flip the nth serialized ghost slab (1-based; 0 disarms)"},
+      {"OCTO_FAULT_GHOST_TRUNCATE", "truncate the nth serialized ghost slab to half its size"},
+      {"OCTO_FAULT_CKPT_SHORT_WRITE", "checkpoint streams stop after this many bytes (crash mid-write)"},
+      {"OCTO_FAULT_CKPT_BITFLIP", "flip one bit of the checkpoint byte at this stream offset"},
+      {"OCTO_FAULT_STEP", "throw octo::error at the nth maybe_fail_step() call (1-based)"},
+      {"OCTO_FAULT_MSG_DROP", "drop each transport frame with this probability [0,1]"},
+      {"OCTO_FAULT_MSG_DELAY_US", "delay each frame by uniform-random [0,max] microseconds"},
+      {"OCTO_FAULT_MSG_DUP", "duplicate each transport frame with this probability [0,1]"},
+      {"OCTO_FAULT_MSG_REORDER", "hold a frame past its successor with this probability [0,1]"},
+      {"OCTO_FAULT_LOCALITY_KILL", "<loc>:<step> — declare locality loc dead at integration step step"},
+      {"OCTO_FAULT_STATE_BITFLIP", "<loc>:<step>:<leaf>:<field>[:<count>] or random:<step>[:<count>] — conserved-field soft error"},
+      {"OCTO_FAULT_MOMENT_BITFLIP", "<loc>:<step>:<leaf>:<coeff>[:<count>] or random:<step>[:<count>] — multipole-moment soft error"},
+  };
+  return table;
+}
+
+bool config::env_registered(const std::string& name) {
+  for (const auto& v : env_registry())
+    if (name == v.name) return true;
+  return false;
+}
+
 std::optional<std::string> config::env(const std::string& name) {
+  OCTO_CHECK_MSG(name.rfind("OCTO_", 0) != 0 || env_registered(name),
+                 "unregistered environment variable '"
+                     << name << "' — declare it in config::env_registry() "
+                     << "(src/common/config.cpp) with a one-line doc");
   const char* v = std::getenv(name.c_str());
   if (v == nullptr || v[0] == '\0') return std::nullopt;
   return std::string(v);

@@ -12,6 +12,12 @@
 
 namespace octo {
 
+/// One registered OCTO_* environment variable (see config::env_registry()).
+struct env_var_info {
+  const char* name;  ///< full variable name, e.g. "OCTO_TRACE"
+  const char* doc;   ///< one-line description (rendered into EXPERIMENTS.md)
+};
+
 class config {
  public:
   config() = default;
@@ -23,8 +29,21 @@ class config {
   /// Parse a file of `key = value` lines ('#' starts a comment).
   static config from_file(const std::string& path);
 
-  /// Read one environment variable (nullopt when unset or empty).
+  /// Read one environment variable (nullopt when unset or empty).  A name
+  /// starting with "OCTO_" must be declared in env_registry(); an
+  /// unregistered read throws octo::error so new knobs cannot bypass the
+  /// registry (tools/octo_lint enforces the same rule statically).
   static std::optional<std::string> env(const std::string& name);
+
+  /// Central registry of every OCTO_* environment variable the project
+  /// reads, with one-line docs.  This is the single source of truth: env()
+  /// rejects unregistered names, the rendered table in EXPERIMENTS.md is
+  /// schema-sync-checked against it (tests/lint_test.cpp), and
+  /// tools/octo_lint rejects OCTO_* string literals absent from it.
+  static const std::vector<env_var_info>& env_registry();
+
+  /// True when \p name is declared in env_registry().
+  static bool env_registered(const std::string& name);
 
   /// Import `<prefix>FOO=bar` environment variables as key `foo` = `bar`
   /// (prefix stripped, key lowercased).  Existing keys win, so command-line

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/config.hpp"
 #include "common/error.hpp"
 
 namespace octo::fault {
@@ -104,11 +105,16 @@ injector& injector::instance() {
 }
 
 namespace {
+/// Registered-env read in parser-friendly form: the parsers take
+/// nullptr/empty as "disarmed", which config::env folds into nullopt.
+std::string env_str(const char* name) {
+  return config::env(name).value_or(std::string{});
+}
 std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
-  return parse_fault_u64(name, std::getenv(name), dflt);
+  return parse_fault_u64(name, env_str(name).c_str(), dflt);
 }
 double env_prob(const char* name) {
-  return parse_fault_prob(name, std::getenv(name));
+  return parse_fault_prob(name, env_str(name).c_str());
 }
 }  // namespace
 
@@ -124,14 +130,16 @@ injector::injector()
   msg_delay_us_ = env_u64("OCTO_FAULT_MSG_DELAY_US", 0);
   msg_dup_ = env_prob("OCTO_FAULT_MSG_DUP");
   msg_reorder_ = env_prob("OCTO_FAULT_MSG_REORDER");
-  const auto [kloc, kstep] = parse_locality_kill(
-      "OCTO_FAULT_LOCALITY_KILL", std::getenv("OCTO_FAULT_LOCALITY_KILL"));
+  const auto [kloc, kstep] =
+      parse_locality_kill("OCTO_FAULT_LOCALITY_KILL",
+                          env_str("OCTO_FAULT_LOCALITY_KILL").c_str());
   kill_locality_ = kloc;
   kill_step_ = kstep;
   arm_state_bitflip(parse_bitflip_spec(
-      "OCTO_FAULT_STATE_BITFLIP", std::getenv("OCTO_FAULT_STATE_BITFLIP")));
-  arm_moment_bitflip(parse_bitflip_spec(
-      "OCTO_FAULT_MOMENT_BITFLIP", std::getenv("OCTO_FAULT_MOMENT_BITFLIP")));
+      "OCTO_FAULT_STATE_BITFLIP", env_str("OCTO_FAULT_STATE_BITFLIP").c_str()));
+  arm_moment_bitflip(
+      parse_bitflip_spec("OCTO_FAULT_MOMENT_BITFLIP",
+                         env_str("OCTO_FAULT_MOMENT_BITFLIP").c_str()));
 }
 
 void injector::reset() {

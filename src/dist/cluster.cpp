@@ -16,7 +16,9 @@
 #include "apex/critical_path.hpp"
 #include "apex/dag.hpp"
 #include "apex/flow.hpp"
+#include "apex/race_audit.hpp"
 #include "apex/trace.hpp"
+#include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/log.hpp"
@@ -34,15 +36,15 @@ cluster::cluster(const scen::scenario& sc, dist_options opt,
   // OCTO_TRACE naming an existing directory selects the distributed-trace
   // workflow (a file path keeps the plain single-trace behaviour the apex
   // bootstrap already handles).
-  if (const char* env = std::getenv("OCTO_TRACE")) {
+  if (const auto env = config::env("OCTO_TRACE")) {
     std::error_code ec;
-    if (env[0] != '\0' && std::filesystem::is_directory(env, ec)) {
+    if (std::filesystem::is_directory(*env, ec)) {
       std::int64_t skew_ns = 2'000'000;
-      if (const char* sk = std::getenv("OCTO_TRACE_SKEW_US")) {
-        const long v = std::strtol(sk, nullptr, 10);
+      if (const auto sk = config::env("OCTO_TRACE_SKEW_US")) {
+        const long v = std::strtol(sk->c_str(), nullptr, 10);
         if (v >= 0) skew_ns = static_cast<std::int64_t>(v) * 1000;
       }
-      set_trace_dir(env, skew_ns);
+      set_trace_dir(*env, skew_ns);
     }
   }
 }
@@ -688,7 +690,9 @@ void cluster::step_graph(real dt) {
   std::vector<sf> snap(nn);
   for (const index_t l : leaves)
     snap[static_cast<std::size_t>(l)] = track(amt::dataflow(
-        "snapshot", [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
+        "snapshot",
+        apex::access_set{}.r(apex::rgn::field, l).w(apex::rgn::stage0, l),
+        [this, l] { stage0_[leaf_slot_[l]] = grids_[l]; },
         std::vector<sf>{}, rt));
 
   std::vector<sf> prevH(nn), prevR(nn), prevC(nn), prevP(nn), prevD(nn),
@@ -743,8 +747,13 @@ void cluster::step_graph(real dt) {
           deps.push_back(prevP[static_cast<std::size_t>(f)]);
         if (prevD[li].valid()) deps.push_back(prevD[li]);
       }
+      apex::access_set hfp;
+      hfp.w(apex::rgn::field, l)
+          .r(apex::rgn::ghost, l)
+          .r(apex::rgn::stage0, l);
+      if (opt_.sim.self_gravity) hfp.r(apex::rgn::gout, l);
       H[li] = track(amt::dataflow(
-          "hydro-RK", [this, l, dt, ca, cb] {
+          "hydro-RK", std::move(hfp), [this, l, dt, ca, cb] {
             const apex::scoped_trace_span span("dist.hydro.leaf");
             const apex::cost_scope cost(
                 cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
@@ -793,8 +802,12 @@ void cluster::step_graph(real dt) {
           for (const index_t f : pclients[ni])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         }
+        apex::access_set rfp;
+        rfp.w(apex::rgn::field, n);
+        for (int oct = 0; oct < NCHILD; ++oct)
+          rfp.r(apex::rgn::field, topo_->node(n).children[oct]);
         R[ni] = track(amt::dataflow(
-            "restrict", [this, n] {
+            "restrict", std::move(rfp), [this, n] {
               const auto& nd = topo_->node(n);
               for (int oct = 0; oct < NCHILD; ++oct)
                 grid::restrict_to_coarse(grids_[nd.children[oct]], oct,
@@ -823,8 +836,21 @@ void cluster::step_graph(real dt) {
         for (const index_t f : pclients[ni])
           deps.push_back(prevP[static_cast<std::size_t>(f)]);
       }
+      apex::access_set cfp;
+      for (int d = 0; d < NNEIGHBOR; ++d) {
+        const index_t nb = topo_->neighbor(n, d);
+        if (nb != tree::invalid_node) {
+          if (!(is_leaf && topo_->node(nb).leaf))
+            cfp.r(apex::rgn::field, nb).w(apex::rgn::ghost, n, d);
+        } else {
+          const auto ncode = tree::code_neighbor(topo_->node(n).code,
+                                                 tree::directions()[d]);
+          if (!ncode)  // outflow fill reads the node's own interior
+            cfp.r(apex::rgn::field, n).w(apex::rgn::ghost, n, d);
+        }
+      }
       C[ni] = track(amt::dataflow(
-          "copy", [this, n] {
+          "copy", std::move(cfp), [this, n] {
             const bool leaf2 = topo_->node(n).leaf;
             for (int d = 0; d < NNEIGHBOR; ++d) {
               const index_t nb = topo_->neighbor(n, d);
@@ -857,7 +883,8 @@ void cluster::step_graph(real dt) {
       deps.push_back(H[li]);
       if (prevSend[li].valid()) deps.push_back(prevSend[li]);
       SEND[li] = track(amt::dataflow(
-          "send", [this, l, counts] {
+          "send", apex::access_set{}.r(apex::rgn::field, l),
+          [this, l, counts] {
             const apex::scoped_trace_span span("dist.exchange.send");
             const apex::cost_scope cost(
                 cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
@@ -937,8 +964,14 @@ void cluster::step_graph(real dt) {
           for (const index_t f : pclients[li])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
         }
+        // Footprint: the ghost-face write only.  A direct-token unpack also
+        // reads the neighbor's owned cells, but that read is ordered by the
+        // channel send/receive — a happens-before edge the recorded graph
+        // cannot see (the arrival resolves outside any dataflow node) — so
+        // declaring it would be a guaranteed false positive.
         UNP[link] = track(amt::dataflow(
-            "unpack", [this, l, d, slots, link] {
+            "unpack", apex::access_set{}.w(apex::rgn::ghost, l, d),
+            [this, l, d, slots, link] {
               const apex::scoped_trace_span span("dist.exchange.unpack");
               const apex::cost_scope cost(
                   cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
@@ -983,8 +1016,16 @@ void cluster::step_graph(real dt) {
         if (s > 0)
           for (const index_t f : pclients[li])
             deps.push_back(prevP[static_cast<std::size_t>(f)]);
+        apex::access_set pfp;
+        for (const index_t h : phosts[li])
+          pfp.r(apex::rgn::field, h).r(apex::rgn::ghost, h);
+        for (int d = 0; d < NNEIGHBOR; ++d) {
+          if (topo_->node(l).neighbors[d] != tree::invalid_node) continue;
+          if (topo_->neighbor_or_coarser(l, d) != tree::invalid_node)
+            pfp.w(apex::rgn::ghost, l, d);
+        }
         P[li] = track(amt::dataflow(
-            "prolong", [this, l] {
+            "prolong", std::move(pfp), [this, l] {
               const auto& nd = topo_->node(l);
               for (int d = 0; d < NNEIGHBOR; ++d) {
                 if (nd.neighbors[d] != tree::invalid_node) continue;
@@ -1008,7 +1049,9 @@ void cluster::step_graph(real dt) {
         deps.push_back(H[li]);
         if (have_gprev) deps.push_back(gprev.mom_free[li]);
         D[li] = track(amt::dataflow(
-            "set-density", [this, l] {
+            "set-density",
+            apex::access_set{}.r(apex::rgn::field, l).w(apex::rgn::moment, l),
+            [this, l] {
               const apex::cost_scope cost(
                   cost_model_ptr(), static_cast<std::size_t>(leaf_slot_[l]));
               grav_->set_leaf_from_subgrid(l, grids_[l]);
@@ -1050,7 +1093,12 @@ void cluster::step_graph(real dt) {
               leaf_slot_[l] * NNEIGHBOR + d)]);
       }
       track(amt::dataflow(
-          "dt-reduce", [this, l, i, &vmax_slots] {
+          "dt-reduce",
+          apex::access_set{}
+              .r(apex::rgn::field, l)
+              .r(apex::rgn::ghost, l)
+              .w(apex::rgn::dtred, static_cast<index_t>(i)),
+          [this, l, i, &vmax_slots] {
             vmax_slots[i] =
                 hydro::max_signal_speed(grids_[l], opt_.sim.hydro) /
                 topo_->cell_width(l);
@@ -1117,10 +1165,11 @@ void cluster::step_attempt(real dt, double& exchange_s, double& gravity_s,
   }
 
   // Task-graph profiling: record the step's dataflow DAG whenever someone
-  // is looking (a trace or a metrics sink).  Off for plain runs, so the
-  // dataflow hot path stays one relaxed load.
+  // is looking (a trace sink, a metrics sink, or the race auditor).  Off
+  // for plain runs, so the dataflow hot path stays one relaxed load.
+  const bool audit_dag = dataflow && opt_.sim.audit_races;
   const bool record_dag =
-      dataflow && (apex::trace::enabled() || metrics_ != nullptr);
+      dataflow && (apex::trace::enabled() || metrics_ != nullptr || audit_dag);
   if (dataflow) {
     if (record_dag) apex::dag_recorder::instance().begin_step();
     try {
@@ -1132,8 +1181,10 @@ void cluster::step_attempt(real dt, double& exchange_s, double& gravity_s,
       throw;
     }
     if (record_dag) {
-      last_crit_ = apex::analyze_critical_path(
-          apex::dag_recorder::instance().end_step());
+      const apex::graph_profile graph =
+          apex::dag_recorder::instance().end_step();
+      if (audit_dag) apex::audit_step_or_throw(graph);
+      last_crit_ = apex::analyze_critical_path(graph);
       apex::export_critical_path_counters(last_crit_);
       have_crit_ = true;
     }

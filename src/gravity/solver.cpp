@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "amt/future.hpp"
+#include "apex/race_audit.hpp"
 #include "apex/trace.hpp"
 #include "common/crc32.hpp"
 #include "common/error.hpp"
@@ -830,7 +831,8 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     if (prev != nullptr)
       deps.push_back(prev->exp_free[static_cast<std::size_t>(n)]);
     zero[static_cast<std::size_t>(n)] = track(amt::dataflow(
-        "zero", [this, n] {
+        "zero", apex::access_set{}.w(apex::rgn::expansion, n),
+        [this, n] {
           std::fill(nodes_[n].exp.begin(), nodes_[n].exp.end(), real(0));
         },
         std::move(deps), rt));
@@ -848,11 +850,16 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
         continue;
       }
       std::vector<sf> deps;
-      for (const index_t ch : topo_.node(n).children)
+      apex::access_set fp;
+      fp.w(apex::rgn::moment, n);
+      for (const index_t ch : topo_.node(n).children) {
         deps.push_back(mom_set[static_cast<std::size_t>(ch)]);
+        fp.r(apex::rgn::moment, ch);
+      }
       if (prev != nullptr) deps.push_back(prev->mom_free[ni]);
       mom_set[ni] = track(amt::dataflow(
-          "M2M", [this, n] {
+          "M2M", std::move(fp),
+          [this, n] {
             const apex::scoped_trace_span span("gravity.m2m");
             compute_m2m(n);
           },
@@ -870,17 +877,25 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     std::vector<sf> deps;
     deps.push_back(zero[ni]);
     deps.push_back(mom_set[ni]);
+    apex::access_set fp_moms;
+    fp_moms.r(apex::rgn::moment, n);
     if (n != topo_.root()) {
       for (int d = 0; d < NNEIGHBOR; ++d) {
         const index_t nb = topo_.neighbor(n, d);
-        if (nb != tree::invalid_node)
+        if (nb != tree::invalid_node) {
           deps.push_back(mom_set[static_cast<std::size_t>(nb)]);
+          fp_moms.r(apex::rgn::moment, nb);
+        }
       }
     }
     m2l[ni].reserve(static_cast<std::size_t>(nc));
     for (int c = 0; c < nc; ++c) {
+      // Chunked launches write disjoint expansion rows of n: part = chunk.
+      apex::access_set fp = fp_moms;
+      fp.w(apex::rgn::expansion, n, nc == 1 ? apex::any_part : c);
       m2l[ni].push_back(track(amt::dataflow(
-          "M2L", [this, n, c, nc] {
+          "M2L", std::move(fp),
+          [this, n, c, nc] {
             const apex::scoped_trace_span span("gravity.m2l");
             compute_m2l(n, c, nc);
           },
@@ -896,16 +911,21 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     const auto& fcd = fc_[li];
     if (fcd.hosts.empty()) continue;
     std::vector<sf> deps;
+    apex::access_set fp;
+    fp.r(apex::rgn::moment, l).w(apex::rgn::fcbuf, l);
     deps.push_back(mom_set[li]);
-    for (const index_t h : fcd.hosts)
+    for (const index_t h : fcd.hosts) {
       deps.push_back(mom_set[static_cast<std::size_t>(h)]);
+      fp.r(apex::rgn::moment, h);
+    }
     if (prev != nullptr) {
       deps.push_back(prev->exp_free[li]);
       for (const index_t h : fcd.hosts)
         deps.push_back(prev->exp_free[static_cast<std::size_t>(h)]);
     }
     fcpair[li] = track(amt::dataflow(
-        "fc-pair", [this, l] {
+        "fc-pair", std::move(fp),
+        [this, l] {
           const apex::scoped_trace_span span("gravity.fine_coarse");
           compute_fine_coarse_pairs(l);
         },
@@ -919,11 +939,19 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
     const auto ni = static_cast<std::size_t>(n);
     if (!has_fc_work(n)) continue;
     std::vector<sf> deps(m2l[ni].begin(), m2l[ni].end());
-    if (fcpair[ni].valid()) deps.push_back(fcpair[ni]);
-    for (const index_t f : fc_[ni].clients)
+    apex::access_set fp;
+    fp.w(apex::rgn::expansion, n);
+    if (fcpair[ni].valid()) {
+      deps.push_back(fcpair[ni]);
+      fp.r(apex::rgn::fcbuf, n);
+    }
+    for (const index_t f : fc_[ni].clients) {
       deps.push_back(fcpair[static_cast<std::size_t>(f)]);
+      fp.r(apex::rgn::fcbuf, f);
+    }
     fcapply[ni] = track(amt::dataflow(
-        "fc-apply", [this, n] {
+        "fc-apply", std::move(fp),
+        [this, n] {
           const apex::scoped_trace_span span("gravity.fine_coarse_apply");
           apply_fine_coarse(n);
         },
@@ -950,7 +978,13 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
       for (const auto& t : m2l[ni]) deps.push_back(t);
       if (fcapply[ni].valid()) deps.push_back(fcapply[ni]);
       l2l[ni] = track(amt::dataflow(
-          "L2L", [this, n] {
+          "L2L",
+          apex::access_set{}
+              .r(apex::rgn::expansion, par)
+              .r(apex::rgn::moment, n)
+              .r(apex::rgn::moment, par)
+              .w(apex::rgn::expansion, n),
+          [this, n] {
             const apex::scoped_trace_span span("gravity.l2l");
             compute_l2l(n);
           },
@@ -963,7 +997,9 @@ fmm_solver::solve_graph fmm_solver::solve_dataflow(
   for (const index_t l : topo_.leaves()) {
     const auto li = static_cast<std::size_t>(l);
     g.leaf_out[li] = track(amt::dataflow(
-        "evaluate", [this, l] {
+        "evaluate",
+        apex::access_set{}.r(apex::rgn::expansion, l).w(apex::rgn::gout, l),
+        [this, l] {
           const apex::scoped_trace_span span("gravity.evaluate_leaf");
           evaluate_leaf(l);
         },

@@ -1,0 +1,16 @@
+// Fixture: a blocking .get() inside a dataflow task body — the worker
+// executing the task would block instead of helping, the exact deadlock
+// the dataflow dependency lists exist to avoid.  Never compiled.
+#include "amt/future.hpp"
+
+void bad_blocking_get(octo::amt::runtime& rt,
+                      octo::amt::future<int> input) {
+  std::vector<octo::amt::future<void>> deps;
+  auto f = octo::amt::dataflow(
+      "bad",
+      [&input, &rt] {
+        (void)input.get(rt);  // blocks a worker mid-task
+      },
+      deps, rt);
+  f.wait(rt);
+}

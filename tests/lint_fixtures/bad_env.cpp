@@ -1,0 +1,8 @@
+// Fixture: reads an environment variable that is not declared in
+// config::env_registry().  Never compiled — scanned by lint_test.cpp.
+#include "common/config.hpp"
+
+int bad_env() {
+  const auto v = octo::config::env("OCTO_NOT_REGISTERED");
+  return v ? 1 : 0;
+}

@@ -1,0 +1,5 @@
+// Fixture: raw std::getenv outside common/config.cpp (the variable name
+// itself is registered, isolating the getenv rule).  Never compiled.
+#include <cstdlib>
+
+const char* bad_getenv() { return std::getenv("OCTO_TRACE"); }

@@ -1,0 +1,8 @@
+// Fixture: registers an apex counter whose name is absent from
+// apex::metric_registry().  Never compiled — scanned by lint_test.cpp
+// as if it lived under src/.
+#include "apex/apex.hpp"
+
+int bad_metric() {
+  return octo::apex::registry::instance().counter("nope.unregistered");
+}

@@ -1,0 +1,15 @@
+// Fixture: obeys every octo_lint rule — registered env var, registered
+// metric, dataflow body that never blocks.  Never compiled.
+#include "amt/future.hpp"
+#include "apex/apex.hpp"
+#include "common/config.hpp"
+
+void clean_fixture(octo::amt::runtime& rt) {
+  const auto mode = octo::config::env("OCTO_STEP_MODE");
+  (void)mode;
+  const auto id = octo::apex::registry::instance().counter("app.steps");
+  (void)id;
+  std::vector<octo::amt::future<void>> deps;
+  auto f = octo::amt::dataflow("ok", [] {}, deps, rt);
+  f.wait(rt);  // outside the dataflow call extent: allowed
+}

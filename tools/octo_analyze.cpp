@@ -5,10 +5,13 @@
 ///   octo_analyze metrics.jsonl                # per-step metrics summary
 ///   octo_analyze --baseline old.jsonl new.jsonl --threshold 10
 ///                                             # flag per-step regressions
+///   octo_analyze --race-audit graph.json      # happens-before audit of a
+///                                             # dumped step graph
 ///
 /// Files are classified by extension (.jsonl = metrics, anything else =
 /// Chrome trace) or forced with --trace / --metrics.  All of the real work
-/// lives in apex/analyze.hpp so the test suite drives the same code paths.
+/// lives in apex/analyze.hpp (and apex/race_audit.hpp for --race-audit) so
+/// the test suite drives the same code paths.
 ///
 /// The metrics summary includes the SDC counters (sdc_audits/detected/
 /// retries/rollbacks); a run whose final sdc_detected is nonzero always
@@ -16,11 +19,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apex/analyze.hpp"
+#include "apex/race_audit.hpp"
 #include "common/error.hpp"
 
 namespace {
@@ -34,7 +40,12 @@ void usage(std::ostream& os) {
         "against\n"
         "  --top N               slowest task instances to list (default 10)\n"
         "  --threshold PCT       regression threshold in percent (default "
-        "5)\n";
+        "5)\n"
+        "  --race-audit FILE     audit a step-graph JSON (OCTO_RACE_AUDIT_DUMP"
+        ") for\n"
+        "                        unordered conflicting task footprints\n"
+        "  --drop-edge FROM:TO   with --race-audit: ignore recorded FROM->TO\n"
+        "                        class edges (missing-edge what-if)\n";
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -45,8 +56,9 @@ bool ends_with(const std::string& s, const char* suffix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> trace_files, metrics_files;
+  std::vector<std::string> trace_files, metrics_files, race_files;
   std::string baseline_file;
+  octo::apex::race_audit_options race_opt;
   std::size_t top_k = 10;
   double threshold_pct = 5;
 
@@ -73,6 +85,19 @@ int main(int argc, char** argv) {
                                                     nullptr, 10));
     } else if (arg == "--threshold") {
       threshold_pct = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--race-audit") {
+      race_files.push_back(next());
+    } else if (arg == "--drop-edge") {
+      const std::string spec = next();
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == spec.size()) {
+        std::cerr << "octo_analyze: --drop-edge wants FROM:TO, got '" << spec
+                  << "'\n";
+        return 2;
+      }
+      race_opt.drop_edge_from = spec.substr(0, colon);
+      race_opt.drop_edge_to = spec.substr(colon + 1);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "octo_analyze: unknown option " << arg << "\n";
       usage(std::cerr);
@@ -83,12 +108,25 @@ int main(int argc, char** argv) {
       trace_files.push_back(arg);
     }
   }
-  if (trace_files.empty() && metrics_files.empty()) {
+  if (trace_files.empty() && metrics_files.empty() && race_files.empty()) {
     usage(std::cerr);
     return 2;
   }
 
   try {
+    bool races_found = false;
+    for (const auto& f : race_files) {
+      std::cout << "== race-audit: " << f << " ==\n";
+      std::ifstream in(f);
+      OCTO_CHECK_MSG(in.good(), "cannot open " << f);
+      std::ostringstream text;
+      text << in.rdbuf();
+      const auto graph = octo::apex::load_graph_json(text.str());
+      const auto res = octo::apex::audit_races(graph.graph, race_opt);
+      std::cout << res.summary() << "\n";
+      if (!res.clean()) races_found = true;
+    }
+    if (races_found) return 1;
     for (const auto& f : trace_files) {
       std::cout << "== trace: " << f << " ==\n";
       const auto t = octo::apex::load_chrome_trace(f);

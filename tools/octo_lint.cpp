@@ -1,0 +1,45 @@
+/// \file octo_lint.cpp
+/// Project-rule linter CLI (see lint_core.hpp for the rules).  Registered
+/// as a ctest with label `lint`:
+///
+///   octo_lint --root /path/to/repo        # exit 0 clean, 1 findings
+///
+/// Findings print as `file:line: [rule] message`, one per line, so editors
+/// and CI logs can jump straight to the site.
+
+#include <iostream>
+#include <string>
+
+#include "lint_core.hpp"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: octo_lint [--root DIR]\n";
+      return 0;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else {
+      std::cerr << "octo_lint: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  try {
+    const auto findings = octo::lint::run(root);
+    for (const auto& f : findings)
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    if (!findings.empty()) {
+      std::cout << "octo_lint: " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+      return 1;
+    }
+    std::cout << "octo_lint: clean\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "octo_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
